@@ -1,0 +1,110 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. *Bulk vs tuple-at-a-time substrate* — the kernel's vectorized selection
+   against a per-tuple Python loop over the same data: the architectural
+   gap Figure 9 rests on, isolated from everything else.
+2. *Intermediate caching* — an incremental factory with partial reuse vs
+   the same factory forced to reprocess every basic window (re-evaluation),
+   isolating the value of the cached intermediates.
+3. *Fixed m-chunking sweep* — response time vs a fixed ``m`` (complements
+   Figure 8's adaptive run and locates the sweet spot statically).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import drive_single, report
+from repro.kernel.algebra.select import thetaselect
+from repro.kernel.bat import BAT
+from repro.workloads import selection_stream
+
+from conftest import fresh_engine, q1_sql
+
+
+class TestBulkVsTuple:
+    def test_ablation_bulk_processing(self, benchmark):
+        count = 200_000
+        rng = np.random.default_rng(96)
+        values = rng.integers(0, 1000, count).astype(np.int64)
+        bat = BAT.from_array(values)
+
+        t0 = time.perf_counter()
+        bulk = thetaselect(bat, 800, ">")
+        bulk_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        hits = [i for i, v in enumerate(values.tolist()) if v > 800]
+        tuple_seconds = time.perf_counter() - t0
+
+        assert len(bulk) == len(hits)
+        report(
+            "ablation_bulk",
+            f"Ablation — selection over {count} tuples",
+            ["path", "seconds"],
+            [("vectorized kernel", bulk_seconds), ("tuple-at-a-time", tuple_seconds)],
+        )
+        assert bulk_seconds * 5 < tuple_seconds, (bulk_seconds, tuple_seconds)
+        benchmark.pedantic(lambda: thetaselect(bat, 800, ">"), rounds=10, iterations=1)
+
+
+class TestIntermediateCaching:
+    def test_ablation_partial_reuse(self, benchmark):
+        """The whole point of the paper: reuse beats recompute per slide."""
+        window, step, windows = 204_800, 400, 8
+        workload = selection_stream(
+            window + windows * step, 0.2, seed=97, domain=100
+        )
+        sql = q1_sql(window, step, workload.threshold)
+        engine = fresh_engine()
+        cached = drive_single(
+            engine, engine.submit(sql), "stream", workload.columns(),
+            window, step, windows,
+        )
+        engine = fresh_engine()
+        recompute = drive_single(
+            engine, engine.submit(sql, mode="reeval"), "stream",
+            workload.columns(), window, step, windows,
+        )
+        rows = [
+            ("with cached partials", cached.mean_response(skip_first=1)),
+            ("recompute (no reuse)", recompute.mean_response(skip_first=1)),
+        ]
+        report(
+            "ablation_reuse",
+            "Ablation — steady-state slide cost with/without partial reuse",
+            ["strategy", "seconds"],
+            rows,
+        )
+        assert rows[0][1] * 2 < rows[1][1], rows
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+class TestFixedChunkSweep:
+    def test_ablation_fixed_m_sweep(self, benchmark):
+        window, step, windows = 131_072, 16_384, 6
+        workload = selection_stream(
+            window + 12 * windows * step, 0.2, seed=98, domain=100
+        )
+        sql = q1_sql(window, step, workload.threshold)
+        rows = []
+        for m in (1, 2, 4, 8, 16, 64, 256):
+            engine = fresh_engine()
+            query = engine.submit(sql)
+            timings = drive_single(
+                engine, query, "stream", workload.columns(),
+                window, step, windows, chunk_m=m,
+            )
+            rows.append((m, timings.mean_response(skip_first=1)))
+        report(
+            "ablation_chunks",
+            "Ablation — response time vs fixed chunk count m",
+            ["m", "seconds"],
+            rows,
+        )
+        best_m, best = min(rows, key=lambda r: r[1])
+        # some m > 1 beats m = 1, and very large m is worse than the best
+        assert best_m > 1, rows
+        assert rows[-1][1] > best, rows
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+"""Figure 10 (the inline figure of §4.2) — DataCell cost breakdown:
+loading (CSV parsing + basket appends) vs pure query processing.
+
+Paper: "query processing is the major component while loading represents
+only a minor fraction of the total cost" — for the larger window sizes.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import report
+from repro.workloads import join_streams, read_csv_chunks, write_csv
+
+from conftest import fresh_engine, q2_sql
+
+BASIC_WINDOWS = 64
+SLIDES = 20
+JOIN_SELECTIVITY = 3e-4
+WINDOW_SIZES = [1_024, 10_240, 25_600, 51_200, 102_400]
+CHUNK = 4_096
+
+
+def _breakdown(tmp_path, window):
+    """Returns (total, query_processing, loading) seconds."""
+    step = window // BASIC_WINDOWS
+    total_tuples = window + SLIDES * step
+    workload = join_streams(total_tuples, JOIN_SELECTIVITY, seed=95)
+    left = tmp_path / f"l{window}.csv"
+    right = tmp_path / f"r{window}.csv"
+    write_csv(left, workload.left_columns(), order=["x1", "x2"])
+    write_csv(right, workload.right_columns(), order=["x1", "x2"])
+
+    engine = fresh_engine()
+    query = engine.submit(q2_sql(window, step))
+    schema = engine.catalog.stream("stream1").schema
+
+    loading = 0.0
+    processing = 0.0
+    start = time.perf_counter()
+    left_chunks = read_csv_chunks(left, schema, CHUNK)
+    right_chunks = read_csv_chunks(right, schema, CHUNK)
+    while True:
+        t0 = time.perf_counter()
+        progressed = False
+        for stream, chunks in (("stream1", left_chunks), ("stream2", right_chunks)):
+            chunk = next(chunks, None)
+            if chunk is not None:
+                engine.feed(stream, columns=chunk)
+                progressed = True
+        t1 = time.perf_counter()
+        loading += t1 - t0
+        engine.run_until_idle()
+        processing += time.perf_counter() - t1
+        if not progressed:
+            break
+    total = time.perf_counter() - start
+    assert len(query.results()) == SLIDES + 1
+    return total, processing, loading
+
+
+class TestFig10:
+    def test_fig10_loading_breakdown(self, benchmark, tmp_path):
+        rows = []
+        for window in WINDOW_SIZES:
+            total, processing, loading = _breakdown(tmp_path, window)
+            rows.append((window, total, processing, loading))
+        report(
+            "fig10",
+            "Figure 10 — DataCell total time split into query processing "
+            "and loading (seconds)",
+            ["|W|", "total", "query processing", "loading"],
+            rows,
+        )
+        # paper: processing dominates, loading is a minor fraction (large |W|)
+        for window, total, processing, loading in rows[1:]:
+            assert processing > loading, rows
+        __, total, processing, loading = rows[-1]
+        assert loading < 0.4 * total, rows
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,112 @@
+"""Figure 6 — varying window size, and landmark windows.
+
+(a) Q1 with three window sizes at a fixed 512 basic windows (paper: the
+    bigger the window the bigger DataCell's advantage, exceeding 50 %).
+(b) Q3 as a landmark query (paper: DataCellR grows linearly with the
+    ever-growing landmark window; DataCell drops to a constant after the
+    first window).
+"""
+
+import pytest
+
+from repro.bench import drive_landmark, drive_single, report
+from repro.workloads import selection_stream
+
+from conftest import fresh_engine, q1_sql, q3_sql
+
+BASIC_WINDOWS = 512
+WINDOW_SIZES = [51_200, 204_800, 819_200]  # paper: 1e6 / 1e7 / 1e8, scaled
+WINDOWS = 4
+
+LANDMARK_STEP = 25_000  # paper: 2.5e6, scaled ÷100
+LANDMARK_WINDOWS = 40
+
+
+def _steady(mode, window):
+    step = window // BASIC_WINDOWS
+    workload = selection_stream(
+        window + WINDOWS * step, selectivity=0.2, seed=60, domain=100
+    )
+    engine = fresh_engine()
+    query = engine.submit(q1_sql(window, step, workload.threshold), mode=mode)
+    timings = drive_single(
+        engine, query, "stream", workload.columns(), window, step, WINDOWS
+    )
+    return timings.mean_response(skip_first=1)
+
+
+class TestFig6a:
+    def test_fig6a_vary_window_size(self, benchmark):
+        rows = []
+        for window in WINDOW_SIZES:
+            reev = _steady("reeval", window)
+            incr = _steady("incremental", window)
+            rows.append((window, reev, incr))
+        report(
+            "fig6a",
+            "Figure 6(a) — Q1 slide response time vs window size (seconds)",
+            ["|W|", "DataCellR", "DataCell"],
+            rows,
+        )
+        # the advantage grows with the window and exceeds 50 % at the largest
+        # (at the smallest window the merge overhead makes it a near-tie —
+        # the re-evaluation-friendly regime of paper §4.2)
+        for window, reev, incr in rows[1:]:
+            assert incr < reev, rows
+        assert rows[-1][2] < rows[-1][1] * 0.5, rows
+        ratios = [incr / reev for __, reev, incr in rows]
+        assert ratios[-1] < ratios[0], (ratios, "advantage should grow")
+
+        window = WINDOW_SIZES[0]
+        step = window // BASIC_WINDOWS
+        workload = selection_stream(window + 50 * step, 0.2, seed=61, domain=100)
+        engine = fresh_engine()
+        query = engine.submit(q1_sql(window, step, workload.threshold))
+        engine.feed("stream", columns=workload.columns())
+        query.factory.step()
+        benchmark.pedantic(lambda: query.factory.step(), rounds=10, iterations=1)
+
+
+class TestFig6b:
+    def test_fig6b_landmark(self, benchmark):
+        workload = selection_stream(
+            LANDMARK_STEP * (LANDMARK_WINDOWS + 1), selectivity=0.2, seed=62, domain=100
+        )
+        sql = q3_sql(LANDMARK_STEP, workload.threshold)
+
+        engine = fresh_engine()
+        reev_query = engine.submit(sql, mode="reeval")
+        reev = drive_landmark(
+            engine, reev_query, "stream", workload.columns(),
+            LANDMARK_STEP, LANDMARK_WINDOWS,
+        )
+        engine = fresh_engine()
+        incr_query = engine.submit(sql, mode="incremental")
+        incr = drive_landmark(
+            engine, incr_query, "stream", workload.columns(),
+            LANDMARK_STEP, LANDMARK_WINDOWS,
+        )
+        rows = [
+            (k + 1, reev.response_seconds[k], incr.response_seconds[k])
+            for k in range(LANDMARK_WINDOWS)
+        ]
+        report(
+            "fig6b",
+            "Figure 6(b) — Q3 landmark response time per window (seconds)",
+            ["window", "DataCellR", "DataCell"],
+            rows,
+        )
+        # DataCellR grows with the landmark window: last quarter ≫ first quarter
+        quarter = LANDMARK_WINDOWS // 4
+        reev_early = sum(reev.response_seconds[1 : 1 + quarter]) / quarter
+        reev_late = sum(reev.response_seconds[-quarter:]) / quarter
+        assert reev_late > reev_early * 2, (reev_early, reev_late)
+        # DataCell stays flat: late mean within 5x of early mean (no growth trend)
+        incr_early = sum(incr.response_seconds[1 : 1 + quarter]) / quarter
+        incr_late = sum(incr.response_seconds[-quarter:]) / quarter
+        assert incr_late < incr_early * 5, (incr_early, incr_late)
+        assert incr_late < reev_late, "incremental must win on late windows"
+
+        benchmark.pedantic(
+            lambda: None, rounds=1, iterations=1
+        )  # series already measured above

@@ -1,0 +1,55 @@
+"""Shared builders for the figure benchmarks.
+
+Scaling discipline: every benchmark keeps the paper's *ratios* (basic
+windows per window, selectivities, window/step proportions) and scales the
+absolute tuple counts down so the whole suite runs in minutes on a laptop.
+EXPERIMENTS.md records the scale factor per figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataCellEngine
+from repro.dsms import SystemX
+from repro.kernel.atoms import Atom
+from repro.kernel.storage import Schema
+
+
+def fresh_engine() -> DataCellEngine:
+    engine = DataCellEngine()
+    engine.create_stream("stream", [("x1", "int"), ("x2", "int")])
+    engine.create_stream("stream1", [("x1", "int"), ("x2", "int")])
+    engine.create_stream("stream2", [("x1", "int"), ("x2", "int")])
+    return engine
+
+
+def fresh_systemx() -> SystemX:
+    systemx = SystemX()
+    schema = Schema.of(("x1", Atom.INT), ("x2", Atom.INT))
+    systemx.create_stream("stream", schema)
+    systemx.create_stream("stream1", schema)
+    systemx.create_stream("stream2", schema)
+    return systemx
+
+
+def q1_sql(window: int, step: int, threshold: int) -> str:
+    return (
+        f"SELECT x1, sum(x2) FROM stream [RANGE {window} SLIDE {step}] "
+        f"WHERE x1 > {threshold} GROUP BY x1"
+    )
+
+
+def q2_sql(window: int, step: int) -> str:
+    return (
+        f"SELECT max(s1.x1), avg(s2.x1) FROM stream1 s1 [RANGE {window} SLIDE {step}], "
+        f"stream2 s2 [RANGE {window} SLIDE {step}] WHERE s1.x2 = s2.x2"
+    )
+
+
+def q3_sql(step: int, threshold: int) -> str:
+    return (
+        f"SELECT max(x1), sum(x2) FROM stream [LANDMARK SLIDE {step}] "
+        f"WHERE x1 > {threshold}"
+    )

@@ -1,0 +1,108 @@
+"""Trading monitor — two correlated streams, a window join, and landmarks.
+
+The scenario from the paper's finance motivation: a trades stream and a
+quotes stream are joined on the instrument id inside sliding windows to
+watch realized prices against quoted mid-prices, while a landmark query
+keeps running session statistics.
+
+Demonstrates: multi-stream window joins, landmark windows, several
+concurrent continuous queries over shared streams, and the response-time
+metadata on each result batch.
+
+Run:  python examples/trading_monitor.py
+"""
+
+import numpy as np
+
+from repro import DataCellEngine
+
+INSTRUMENTS = 8
+
+
+def make_market_data(count: int, seed: int = 42):
+    rng = np.random.default_rng(seed)
+    instruments = rng.integers(0, INSTRUMENTS, count)
+    base = 100 + instruments * 10
+    trades = {
+        "instrument": instruments,
+        "price": base + rng.integers(-5, 6, count),
+        "size": rng.integers(1, 100, count),
+    }
+    quote_instruments = rng.integers(0, INSTRUMENTS, count)
+    quotes = {
+        "instrument": quote_instruments,
+        "mid": 100 + quote_instruments * 10 + rng.integers(-2, 3, count),
+    }
+    return trades, quotes
+
+
+def main() -> None:
+    engine = DataCellEngine()
+    engine.create_stream(
+        "trades", [("instrument", "int"), ("price", "int"), ("size", "int")]
+    )
+    engine.create_stream("quotes", [("instrument", "int"), ("mid", "int")])
+
+    # 1. Window join: per instrument, how far do trades print from quotes?
+    spread = engine.submit(
+        "SELECT t.instrument, avg(t.price), avg(q.mid), count(*) "
+        "FROM trades t [RANGE 512 SLIDE 128], quotes q [RANGE 512 SLIDE 128] "
+        "WHERE t.instrument = q.instrument "
+        "GROUP BY t.instrument ORDER BY t.instrument",
+        name="spread-monitor",
+    )
+
+    # 2. Landmark session statistics: volume since the open, never expiring.
+    session = engine.submit(
+        "SELECT sum(size), max(price), count(*) "
+        "FROM trades [LANDMARK SLIDE 256]",
+        name="session-stats",
+    )
+
+    # 3. Large-trade ticker: plain selection, small sliding window.
+    ticker = engine.submit(
+        "SELECT instrument, price, size FROM trades [RANGE 128 SLIDE 64] "
+        "WHERE size > 90",
+        name="block-trades",
+    )
+
+    trades, quotes = make_market_data(4_000)
+    batch = 500
+    for offset in range(0, 4_000, batch):
+        engine.feed(
+            "trades",
+            columns={k: v[offset : offset + batch] for k, v in trades.items()},
+        )
+        engine.feed(
+            "quotes",
+            columns={k: v[offset : offset + batch] for k, v in quotes.items()},
+        )
+        engine.run_until_idle()
+
+    print("== spread monitor (last window) ==")
+    last = spread.last()
+    for instrument, avg_price, avg_mid, pairs in last.rows():
+        print(
+            f"  instrument {instrument}: trades avg {avg_price:7.2f} vs "
+            f"mid {avg_mid:7.2f} over {pairs} pairs"
+        )
+
+    print("\n== session statistics per landmark step ==")
+    for batch_result in session.results()[-5:]:
+        volume, high, count = batch_result.rows()[0]
+        print(
+            f"  window {batch_result.window_index:2d}: volume={volume:7d} "
+            f"high={high} trades={count}"
+        )
+
+    print("\n== block trades in the last window ==")
+    for row in (ticker.last().rows() or [("(none)",)])[:10]:
+        print("  ", row)
+
+    mean_ms = 1000 * sum(spread.response_times()) / max(len(spread.results()), 1)
+    print(f"\nspread monitor: {len(spread.results())} windows, "
+          f"mean response {mean_ms:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

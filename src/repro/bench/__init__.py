@@ -1,0 +1,22 @@
+"""Benchmark drivers and reporting used by benchmarks/."""
+
+from repro.bench.harness import (
+    WindowTimings,
+    drive_join,
+    drive_landmark,
+    drive_single,
+    total_time_datacell,
+    total_time_systemx,
+)
+from repro.bench.reporting import format_table, report
+
+__all__ = [
+    "WindowTimings",
+    "drive_join",
+    "drive_landmark",
+    "drive_single",
+    "format_table",
+    "report",
+    "total_time_datacell",
+    "total_time_systemx",
+]

@@ -1,0 +1,48 @@
+"""Plain-text reporting for benchmark tables.
+
+Each figure benchmark prints the series the paper plots and appends the
+same table to ``benchmarks/results/`` so EXPERIMENTS.md can quote measured
+numbers verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width table with a title line."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [title, "-" * len(title)]
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.001:
+            return f"{cell:.2e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def report(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+    table = format_table(title, headers, rows)
+    print("\n" + table)
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table + "\n")
+    except OSError:
+        pass  # reporting must never fail a benchmark
+    return table

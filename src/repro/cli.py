@@ -1,0 +1,232 @@
+"""Interactive shell for the DataCell engine (``python -m repro``).
+
+A small line-oriented console a downstream user can drive without writing
+Python: declare streams/tables, register continuous queries, replay CSV
+files into streams, and inspect results.
+
+Commands (case-insensitive keywords; one per line)::
+
+    CREATE STREAM name (col type, ...)     declare a stream
+    CREATE TABLE name (col type, ...)      create a stored table
+    SUBMIT [REEVAL] <select ...>           register a continuous query
+    FEED stream FROM path.csv [CHUNK n]    replay a CSV into a stream
+    LOAD table FROM path.csv               bulk-load a stored table
+    RUN                                    fire all ready factories
+    RESULTS [query] [LAST]                 print window results
+    EXPLAIN <select ...>                   show the optimized logical plan
+    EXPLAIN CONTINUOUS <select ...>        show the incremental programs
+    <select ...>                           one-time query over tables
+    QUERIES / STREAMS / HELP / QUIT
+
+The console is a thin veneer: every command maps 1:1 onto a
+:class:`repro.DataCellEngine` method, so scripts double as API examples.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import sys
+from typing import Callable, Optional, TextIO
+
+from repro.core.engine import ContinuousQuery, DataCellEngine
+from repro.errors import ReproError
+from repro.workloads.csvio import read_csv_chunks
+
+_SCHEMA_RE = re.compile(r"^\s*(\w+)\s*\((.*)\)\s*$", re.DOTALL)
+
+
+def _parse_schema(text: str) -> tuple[str, list[tuple[str, str]]]:
+    """Parse ``name (col type, col type, ...)``."""
+    match = _SCHEMA_RE.match(text)
+    if not match:
+        raise ReproError(f"expected 'name (col type, ...)', got {text!r}")
+    name = match.group(1)
+    columns = []
+    for part in match.group(2).split(","):
+        pieces = part.split()
+        if len(pieces) != 2:
+            raise ReproError(f"bad column declaration {part.strip()!r}")
+        columns.append((pieces[0], pieces[1]))
+    if not columns:
+        raise ReproError("at least one column is required")
+    return name, columns
+
+
+class Console:
+    """The command interpreter; one instance owns one engine."""
+
+    def __init__(self, out: Optional[TextIO] = None) -> None:
+        self.engine = DataCellEngine()
+        self.out = out if out is not None else sys.stdout
+        self._done = False
+
+    # ------------------------------------------------------------------
+    def println(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def execute(self, line: str) -> bool:
+        """Execute one command line; returns False once QUIT is seen."""
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return not self._done
+        try:
+            self._dispatch(line)
+        except ReproError as exc:
+            self.println(f"error: {exc}")
+        except Exception as exc:  # surface, keep the console alive
+            self.println(f"error: {type(exc).__name__}: {exc}")
+        return not self._done
+
+    def run(self, source: TextIO) -> None:
+        """Drive the console from a file-like source of lines."""
+        for line in source:
+            if not self.execute(line):
+                break
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, line: str) -> None:
+        upper = line.upper()
+        if upper in ("QUIT", "EXIT"):
+            self._done = True
+            return
+        if upper == "HELP":
+            self.println(__doc__ or "")
+            return
+        if upper == "RUN":
+            fired = self.engine.run_until_idle()
+            self.println(f"fired {fired} window(s)")
+            return
+        if upper == "QUERIES":
+            for name, query in self.engine._queries.items():
+                self.println(
+                    f"{name}: [{query.mode}] {query.sql} "
+                    f"({len(query.results())} windows)"
+                )
+            return
+        if upper == "STREAMS":
+            for stream in self.engine._stream_baskets:
+                schema = self.engine.catalog.stream(stream).schema
+                cols = ", ".join(f"{n} {a.value}" for n, a in schema.columns)
+                self.println(f"{stream} ({cols})")
+            return
+        if upper.startswith("CREATE STREAM "):
+            name, columns = _parse_schema(line[len("CREATE STREAM "):])
+            self.engine.create_stream(name, columns)
+            self.println(f"stream {name} created")
+            return
+        if upper.startswith("CREATE TABLE "):
+            name, columns = _parse_schema(line[len("CREATE TABLE "):])
+            self.engine.create_table(name, columns)
+            self.println(f"table {name} created")
+            return
+        if upper.startswith("SUBMIT "):
+            rest = line[len("SUBMIT "):].strip()
+            mode = "incremental"
+            if rest.upper().startswith("REEVAL "):
+                mode = "reeval"
+                rest = rest[len("REEVAL "):]
+            query = self.engine.submit(rest, mode=mode)
+            self.println(f"registered {query.name} [{mode}]")
+            return
+        if upper.startswith("FEED "):
+            self._feed(line[len("FEED "):])
+            return
+        if upper.startswith("LOAD "):
+            self._load(line[len("LOAD "):])
+            return
+        if upper.startswith("RESULTS"):
+            self._results(line[len("RESULTS"):].strip())
+            return
+        if upper.startswith("EXPLAIN CONTINUOUS "):
+            self.println(
+                self.engine.explain_continuous(line[len("EXPLAIN CONTINUOUS "):])
+            )
+            return
+        if upper.startswith("EXPLAIN "):
+            self.println(self.engine.explain(line[len("EXPLAIN "):]))
+            return
+        if upper.startswith("SELECT"):
+            result = self.engine.query_once(line)
+            self._print_columns(result)
+            return
+        raise ReproError(f"unknown command {line.split()[0]!r} (try HELP)")
+
+    # ------------------------------------------------------------------
+    def _feed(self, rest: str) -> None:
+        tokens = shlex.split(rest)
+        if len(tokens) not in (3, 5) or tokens[1].upper() != "FROM":
+            raise ReproError("usage: FEED stream FROM path.csv [CHUNK n]")
+        stream, path = tokens[0], tokens[2]
+        chunk = 4096
+        if len(tokens) == 5:
+            if tokens[3].upper() != "CHUNK":
+                raise ReproError("usage: FEED stream FROM path.csv [CHUNK n]")
+            chunk = int(tokens[4])
+        schema = self.engine.catalog.stream(stream).schema
+        total = 0
+        for columns in read_csv_chunks(path, schema, chunk):
+            total += self.engine.feed(stream, columns=columns)
+            self.engine.run_until_idle()
+        self.println(f"fed {total} tuple(s) into {stream}")
+
+    def _load(self, rest: str) -> None:
+        tokens = shlex.split(rest)
+        if len(tokens) != 3 or tokens[1].upper() != "FROM":
+            raise ReproError("usage: LOAD table FROM path.csv")
+        table, path = tokens[0], tokens[2]
+        schema = self.engine.catalog.table(table).schema
+        total = 0
+        for columns in read_csv_chunks(path, schema, 8192):
+            total += self.engine.catalog.table(table).append_columns(columns)
+        self.println(f"loaded {total} row(s) into {table}")
+
+    def _results(self, rest: str) -> None:
+        tokens = rest.split()
+        last_only = bool(tokens) and tokens[-1].upper() == "LAST"
+        if last_only:
+            tokens = tokens[:-1]
+        names = tokens if tokens else list(self.engine._queries)
+        for name in names:
+            query = self.engine.query(name)
+            batches = query.results()
+            if last_only and batches:
+                batches = batches[-1:]
+            self.println(f"-- {name}: {len(query.results())} window(s)")
+            for batch in batches:
+                self.println(
+                    f"window {batch.window_index} "
+                    f"({batch.response_seconds * 1000:.3f} ms): {batch.rows()}"
+                )
+
+    def _print_columns(self, result: dict[str, list]) -> None:
+        names = list(result)
+        self.println(" | ".join(names))
+        for row in zip(*result.values()):
+            self.println(" | ".join(str(v) for v in row))
+        if names:
+            self.println(f"({len(result[names[0]])} row(s))")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point: interactive REPL, or replay script files given as args."""
+    argv = argv if argv is not None else sys.argv[1:]
+    console = Console()
+    if argv:
+        for path in argv:
+            with open(path) as script:
+                console.run(script)
+        return 0
+    console.println("DataCell console — HELP for commands, QUIT to leave")
+    try:
+        while True:
+            line = input("datacell> ")
+            if not console.execute(line):
+                break
+    except (EOFError, KeyboardInterrupt):
+        console.println()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

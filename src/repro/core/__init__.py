@@ -1,0 +1,32 @@
+"""DataCell core: baskets, factories, scheduler, and the incremental
+rewriter — a stream engine on top of the DBMS kernel."""
+
+from repro.core.basket import Basket
+from repro.core.chunking import AdaptiveChunker
+from repro.core.emitter import CallbackEmitter, CollectingEmitter, CsvEmitter
+from repro.core.engine import ContinuousQuery, DataCellEngine
+from repro.core.factory import IncrementalFactory, ResultBatch
+from repro.core.receptor import Receptor
+from repro.core.reevaluate import ReevalFactory
+from repro.core.rewriter import IncrementalPlan, rewrite
+from repro.core.scheduler import Scheduler
+from repro.core.windows import TS_COLUMN, WindowSpec
+
+__all__ = [
+    "AdaptiveChunker",
+    "Basket",
+    "CallbackEmitter",
+    "CollectingEmitter",
+    "ContinuousQuery",
+    "CsvEmitter",
+    "DataCellEngine",
+    "IncrementalFactory",
+    "IncrementalPlan",
+    "Receptor",
+    "ReevalFactory",
+    "ResultBatch",
+    "Scheduler",
+    "TS_COLUMN",
+    "WindowSpec",
+    "rewrite",
+]

@@ -1,0 +1,208 @@
+"""Baskets — DataCell's lightweight stream tables.
+
+A basket is an append-only, lockable collection of head-aligned column
+buffers, one per stream attribute (plus the implicit arrival-timestamp
+column for time-based queries).  Receptors append incoming tuples; factories
+snapshot column views, consume basic windows, and drop expired tuples from
+the head (paper §2: "once a tuple has been seen by all relevant queries it
+is dropped from its basket").
+
+Thread-safety: every mutating or snapshotting method takes the basket lock;
+factories take it once around a whole consume cycle via ``locked()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import BasketError
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT, BATBuilder
+from repro.kernel.storage import Schema
+from repro.core.windows import TS_COLUMN
+
+
+class Basket:
+    """Column-oriented append buffer for one stream."""
+
+    def __init__(self, name: str, schema: Schema, with_timestamps: bool = True) -> None:
+        self.name = name
+        self.schema = schema
+        self._lock = threading.RLock()
+        self._builders: dict[str, BATBuilder] = {
+            col: BATBuilder(atom) for col, atom in schema.columns
+        }
+        self._with_ts = with_timestamps
+        if with_timestamps:
+            self._builders[TS_COLUMN] = BATBuilder(Atom.TIMESTAMP)
+        self._appended_total = 0
+        self._clock = 0  # fallback logical timestamps
+        self._watermark: int | None = None  # explicit time progress
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    def locked(self):
+        """Context manager taking the basket lock (re-entrant)."""
+        return self._lock
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            first = next(iter(self._builders.values()))
+            return len(first)
+
+    @property
+    def count(self) -> int:
+        """Number of tuples currently parked in the basket."""
+        return len(self)
+
+    @property
+    def hseq(self) -> int:
+        """Oid of the oldest tuple still present."""
+        with self._lock:
+            return next(iter(self._builders.values())).hseq
+
+    @property
+    def appended_total(self) -> int:
+        """Total tuples ever appended (monotonic)."""
+        with self._lock:
+            return self._appended_total
+
+    # ------------------------------------------------------------------
+    # appends (receptor side)
+    # ------------------------------------------------------------------
+    def append_rows(
+        self, rows: Iterable[Sequence], timestamps: Sequence[int] | None = None
+    ) -> int:
+        """Append tuples in schema order; returns number appended."""
+        names = self.schema.names
+        with self._lock:
+            added = 0
+            for row in rows:
+                if len(row) != len(names):
+                    raise BasketError(
+                        f"row arity {len(row)} != schema arity {len(names)}"
+                    )
+                for name, value in zip(names, row):
+                    self._builders[name].append(value)
+                if self._with_ts:
+                    if timestamps is not None:
+                        self._builders[TS_COLUMN].append(timestamps[added])
+                    else:
+                        self._builders[TS_COLUMN].append(self._clock)
+                        self._clock += 1
+                added += 1
+            self._appended_total += added
+            return added
+
+    def append_columns(
+        self,
+        columns: Mapping[str, Sequence | np.ndarray],
+        timestamps: Sequence[int] | np.ndarray | None = None,
+    ) -> int:
+        """Bulk columnar append (the fast receptor path)."""
+        with self._lock:
+            expected = set(self.schema.names)
+            if set(columns) != expected:
+                raise BasketError(
+                    f"append_columns needs exactly columns {sorted(expected)}"
+                )
+            lengths = {len(values) for values in columns.values()}
+            if len(lengths) != 1:
+                raise BasketError("ragged column append")
+            count = lengths.pop()
+            for name, values in columns.items():
+                self._builders[name].extend(values)
+            if self._with_ts:
+                if timestamps is not None:
+                    if len(timestamps) != count:
+                        raise BasketError("timestamp column length mismatch")
+                    self._builders[TS_COLUMN].extend(timestamps)
+                else:
+                    self._builders[TS_COLUMN].extend(
+                        np.arange(self._clock, self._clock + count, dtype=np.int64)
+                    )
+                    self._clock += count
+            self._appended_total += count
+            return count
+
+    # ------------------------------------------------------------------
+    # snapshots (factory side)
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> BAT:
+        """Zero-copy snapshot of one column (valid until the next delete)."""
+        with self._lock:
+            if name not in self._builders:
+                raise BasketError(f"basket {self.name!r} has no column {name!r}")
+            return self._builders[name].snapshot()
+
+    def head_slice(self, count: int, columns: Sequence[str]) -> dict[str, BAT]:
+        """The oldest ``count`` tuples of the requested columns."""
+        with self._lock:
+            if count > len(self):
+                raise BasketError(
+                    f"basket {self.name!r} holds {len(self)} tuples, "
+                    f"need {count}"
+                )
+            return {
+                name: self._builders[name].snapshot().slice(0, count)
+                for name in columns
+            }
+
+    def timestamps(self) -> BAT:
+        """Snapshot of the implicit arrival-timestamp column."""
+        if not self._with_ts:
+            raise BasketError(f"basket {self.name!r} has no timestamps")
+        return self.column(TS_COLUMN)
+
+    def count_before(self, ts_bound: int) -> int:
+        """Tuples (from the head) with arrival timestamp < ``ts_bound``.
+
+        Timestamps are nondecreasing by arrival, so this is a binary search;
+        time-based factories use it to slice basic windows.
+        """
+        with self._lock:
+            ts = self.timestamps()
+            return int(np.searchsorted(ts.tail, ts_bound, side="left"))
+
+    def max_timestamp(self) -> int | None:
+        """The basket's time watermark.
+
+        The larger of the newest arrival timestamp and any explicitly
+        advanced watermark (see :meth:`advance_watermark`).
+        """
+        with self._lock:
+            ts = self.timestamps()
+            newest = None if ts.is_empty() else int(ts.tail[-1])
+            if self._watermark is None:
+                return newest
+            if newest is None:
+                return self._watermark
+            return max(newest, self._watermark)
+
+    def advance_watermark(self, ts: int) -> None:
+        """Declare that no tuple with arrival timestamp < ``ts`` will arrive.
+
+        Time-based factories fire when the watermark passes a basic-window
+        boundary; advancing it explicitly lets queries close windows during
+        stream silence (a punctuation, in stream-processing terms).
+        Watermarks only move forward; regressions are ignored.
+        """
+        with self._lock:
+            if self._watermark is None or ts > self._watermark:
+                self._watermark = ts
+
+    # ------------------------------------------------------------------
+    # deletion (expiry)
+    # ------------------------------------------------------------------
+    def delete_head(self, count: int) -> None:
+        """Drop the ``count`` oldest tuples (they were consumed/expired)."""
+        with self._lock:
+            for builder in self._builders.values():
+                builder.drop_head(count)

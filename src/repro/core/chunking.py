@@ -1,0 +1,69 @@
+"""Self-adaptive m-chunk controller (paper §3, "Optimized Incremental
+Plans", evaluated in Figure 8).
+
+The controller tunes ``m`` — the number of sub-chunks the newest basic
+window is processed in — by monitoring response times: starting at
+``m = 1`` it grows ``m`` (doubling by default) every ``steps_per_level``
+slides; once a level's mean response time is worse than the best seen, it
+resets to the best level and freezes (the paper: "we stop increasing m and
+reset it to the value that resulted in the minimal response time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Optional
+
+
+@dataclass
+class AdaptiveChunker:
+    """Response-time-driven search over ``m``."""
+
+    steps_per_level: int = 5
+    growth_factor: int = 2
+    max_m: Optional[int] = None
+    tolerance: float = 1.0  # level is "worse" if mean > tolerance * best
+
+    _m: int = 1
+    _samples: list[float] = field(default_factory=list)
+    _history: list[tuple[int, float]] = field(default_factory=list)
+    _frozen: bool = False
+
+    @property
+    def current_m(self) -> int:
+        """The chunk count to use for the next slide."""
+        return self._m
+
+    @property
+    def frozen(self) -> bool:
+        """True once the search has converged."""
+        return self._frozen
+
+    @property
+    def history(self) -> list[tuple[int, float]]:
+        """Completed (m, mean response time) levels, in visit order."""
+        return list(self._history)
+
+    def observe(self, response_seconds: float) -> None:
+        """Record one slide's response time; may advance or freeze ``m``."""
+        if self._frozen:
+            return
+        self._samples.append(response_seconds)
+        if len(self._samples) < self.steps_per_level:
+            return
+        level_mean = mean(self._samples)
+        self._samples = []
+        self._history.append((self._m, level_mean))
+        best_m, best_mean = min(self._history, key=lambda entry: entry[1])
+        if level_mean > best_mean * self.tolerance and self._m != best_m:
+            # Degradation: resort to the best m seen so far (paper's reset).
+            self._m = best_m
+            self._frozen = True
+            return
+        next_m = self._m * self.growth_factor
+        if self.max_m is not None and next_m > self.max_m:
+            self._m = best_m
+            self._frozen = True
+            return
+        self._m = next_m

@@ -1,0 +1,95 @@
+"""Emitters — the egress edge of the DataCell architecture (Figure 1).
+
+An emitter is a result sink: the scheduler hands it every
+:class:`~repro.core.factory.ResultBatch` a factory produces.  The default
+collecting emitter retains batches for inspection; a callback emitter
+forwards them to client code (the example applications' "clients").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.core.factory import ResultBatch
+
+
+class CollectingEmitter:
+    """Thread-safe in-memory result collector."""
+
+    def __init__(self, keep_last: Optional[int] = None) -> None:
+        self._lock = threading.Lock()
+        self._batches: list[ResultBatch] = []
+        self._keep_last = keep_last
+        self.total_batches = 0
+        self.total_rows = 0
+
+    def __call__(self, factory_name: str, batch: ResultBatch) -> None:
+        with self._lock:
+            self.total_batches += 1
+            self.total_rows += len(batch)
+            self._batches.append(batch)
+            if self._keep_last is not None and len(self._batches) > self._keep_last:
+                del self._batches[: len(self._batches) - self._keep_last]
+
+    def batches(self) -> list[ResultBatch]:
+        with self._lock:
+            return list(self._batches)
+
+    def last(self) -> Optional[ResultBatch]:
+        with self._lock:
+            return self._batches[-1] if self._batches else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._batches.clear()
+
+
+class CallbackEmitter:
+    """Forwards each batch to a user callback."""
+
+    def __init__(self, callback: Callable[[ResultBatch], None]) -> None:
+        self._callback = callback
+
+    def __call__(self, factory_name: str, batch: ResultBatch) -> None:
+        self._callback(batch)
+
+
+class CsvEmitter:
+    """Appends every result row to a CSV file.
+
+    The symmetric counterpart of the CSV ingestion path: result windows
+    stream out to a file a downstream client can tail.  Each row is
+    prefixed with the window index so clients can segment windows.
+    Thread-safe; remember to :meth:`close` (or use as a context manager).
+    """
+
+    def __init__(self, path, write_header: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._file = open(path, "w")
+        self._write_header = write_header
+        self._header_written = False
+        self.rows_written = 0
+
+    def __call__(self, factory_name: str, batch: ResultBatch) -> None:
+        with self._lock:
+            if self._write_header and not self._header_written:
+                self._file.write(",".join(["window"] + batch.names) + "\n")
+                self._header_written = True
+            for row in batch.rows():
+                self._file.write(
+                    ",".join([str(batch.window_index)] + [str(v) for v in row])
+                )
+                self._file.write("\n")
+                self.rows_written += 1
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._file.close()
+
+    def __enter__(self) -> "CsvEmitter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

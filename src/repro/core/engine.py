@@ -1,0 +1,288 @@
+"""The DataCell engine facade — the library's main public entry point.
+
+Wires together the whole stack: catalog, baskets, receptors, the SQL
+front-end, the incremental rewriter, factories, the scheduler, and
+emitters::
+
+    from repro import DataCellEngine
+
+    engine = DataCellEngine()
+    engine.create_stream("s", [("x1", "int"), ("x2", "int")])
+    query = engine.submit(
+        "SELECT x1, sum(x2) FROM s [RANGE 1000 SLIDE 100] "
+        "WHERE x1 > 10 GROUP BY x1"
+    )
+    engine.feed("s", columns={"x1": xs, "x2": ys})
+    engine.run_until_idle()
+    for batch in query.results():
+        print(batch.rows())
+
+Basket sharing: every submitted continuous query gets its *own* basket per
+stream and :meth:`feed` fans arriving tuples out to all of them.  This
+keeps per-query consumption independent (the paper's refcounted shared
+baskets are an orthogonal multi-query optimization discussed in its future
+work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.basket import Basket
+from repro.core.emitter import CollectingEmitter
+from repro.core.factory import FactoryBase, IncrementalFactory, ResultBatch
+from repro.core.receptor import Receptor
+from repro.core.reevaluate import ReevalFactory
+from repro.core.rewriter import rewrite
+from repro.core.scheduler import Scheduler
+from repro.errors import CatalogError, ReproError, UnsupportedQueryError
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.kernel.execution.interpreter import Interpreter
+from repro.kernel.storage import Catalog, Schema, Table
+from repro.sql.logical import find_scans, pretty_plan
+from repro.sql.optimizer import optimize
+from repro.sql.physical import compile_full
+from repro.sql.planner import plan_query
+
+_ATOM_NAMES = {
+    "int": Atom.INT,
+    "bigint": Atom.INT,
+    "float": Atom.FLT,
+    "flt": Atom.FLT,
+    "double": Atom.FLT,
+    "str": Atom.STR,
+    "string": Atom.STR,
+    "varchar": Atom.STR,
+    "bool": Atom.BIT,
+    "bit": Atom.BIT,
+    "timestamp": Atom.TIMESTAMP,
+    "oid": Atom.OID,
+}
+
+
+def _as_atom(atom) -> Atom:
+    if isinstance(atom, Atom):
+        return atom
+    try:
+        return _ATOM_NAMES[str(atom).lower()]
+    except KeyError:
+        raise CatalogError(f"unknown column type {atom!r}") from None
+
+
+def _as_schema(columns: Sequence[tuple[str, object]]) -> Schema:
+    return Schema(tuple((name, _as_atom(atom)) for name, atom in columns))
+
+
+@dataclass
+class ContinuousQuery:
+    """Handle to a registered continuous query."""
+
+    name: str
+    sql: str
+    mode: str  # "incremental" | "reeval"
+    factory: FactoryBase
+    emitter: CollectingEmitter
+    baskets: dict[str, Basket] = field(default_factory=dict)  # alias -> basket
+
+    def results(self) -> list[ResultBatch]:
+        """All result batches produced so far."""
+        return self.emitter.batches()
+
+    def last(self) -> Optional[ResultBatch]:
+        return self.emitter.last()
+
+    def result_rows(self) -> list[list[tuple]]:
+        """Convenience: per-window result rows."""
+        return [batch.rows() for batch in self.results()]
+
+    def response_times(self) -> list[float]:
+        """Per-window response times in seconds."""
+        return [batch.response_seconds for batch in self.results()]
+
+
+class DataCellEngine:
+    """A complete DataCell instance (Figure 1 of the paper)."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.scheduler = Scheduler()
+        self._queries: dict[str, ContinuousQuery] = {}
+        self._stream_baskets: dict[str, list[Basket]] = {}
+        self._query_counter = 0
+        self._interp = Interpreter()
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def create_stream(self, name: str, columns: Sequence[tuple[str, object]]) -> None:
+        """Declare a stream with ``[(column, type), ...]``."""
+        self.catalog.create_stream(name, _as_schema(columns))
+        self._stream_baskets[name] = []
+
+    def create_table(self, name: str, columns: Sequence[tuple[str, object]]) -> Table:
+        """Create a persistent base table."""
+        return self.catalog.create_table(name, _as_schema(columns))
+
+    def insert(self, table: str, rows: Iterable[Sequence]) -> int:
+        """Append rows to a base table."""
+        return self.catalog.table(table).append_rows(rows)
+
+    # ------------------------------------------------------------------
+    # continuous queries
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        sql: str,
+        mode: str = "incremental",
+        name: Optional[str] = None,
+    ) -> ContinuousQuery:
+        """Register a continuous query; returns its handle.
+
+        ``mode`` selects the execution strategy: ``"incremental"`` (the
+        paper's DataCell) or ``"reeval"`` (the DataCellR baseline).
+        """
+        if mode not in ("incremental", "reeval"):
+            raise ReproError(f"unknown mode {mode!r}")
+        self._query_counter += 1
+        query_name = name or f"q{self._query_counter}"
+        planned = optimize(plan_query(sql, self.catalog))
+
+        baskets: dict[str, Basket] = {}
+        tables: dict[str, Table] = {}
+        seen_streams: set[str] = set()
+        for scan in find_scans(planned.plan):
+            if scan.is_stream:
+                if scan.relation in seen_streams:
+                    raise UnsupportedQueryError(
+                        "self-joins on a single stream are not supported"
+                    )
+                seen_streams.add(scan.relation)
+                basket = Basket(
+                    f"{query_name}:{scan.relation}",
+                    self.catalog.stream(scan.relation).schema,
+                )
+                baskets[scan.alias] = basket
+                self._stream_baskets[scan.relation].append(basket)
+            else:
+                tables[scan.alias] = self.catalog.table(scan.relation)
+
+        factory: FactoryBase
+        if mode == "incremental":
+            plan = rewrite(planned)
+            factory = IncrementalFactory(plan, baskets, tables, name=query_name)
+        else:
+            factory = ReevalFactory(planned, baskets, tables, name=query_name)
+
+        emitter = CollectingEmitter()
+        self.scheduler.register(factory, emitter)
+        handle = ContinuousQuery(query_name, sql, mode, factory, emitter, baskets)
+        self._queries[query_name] = handle
+        return handle
+
+    def remove(self, name: str) -> None:
+        """Unregister a continuous query and release its baskets."""
+        handle = self._queries.pop(name, None)
+        if handle is None:
+            return
+        self.scheduler.unregister(name)
+        for basket in handle.baskets.values():
+            for baskets in self._stream_baskets.values():
+                if basket in baskets:
+                    baskets.remove(basket)
+
+    def query(self, name: str) -> ContinuousQuery:
+        return self._queries[name]
+
+    # ------------------------------------------------------------------
+    # data ingress / scheduling
+    # ------------------------------------------------------------------
+    def feed(
+        self,
+        stream: str,
+        rows: Optional[Iterable[Sequence]] = None,
+        columns: Optional[Mapping[str, Sequence | np.ndarray]] = None,
+        timestamps: Optional[Sequence[int] | np.ndarray] = None,
+    ) -> int:
+        """Append tuples to every basket bound to ``stream``."""
+        if stream not in self._stream_baskets:
+            raise CatalogError(f"unknown stream {stream!r}")
+        if (rows is None) == (columns is None):
+            raise ReproError("feed needs exactly one of rows= or columns=")
+        baskets = self._stream_baskets[stream]
+        if rows is not None:
+            rows = list(rows)
+        count = 0
+        for basket in baskets:
+            if rows is not None:
+                count = basket.append_rows(rows, timestamps)
+            else:
+                assert columns is not None
+                count = basket.append_columns(columns, timestamps)
+        return count
+
+    def advance_time(self, stream: str, ts: int) -> None:
+        """Advance the time watermark of every basket bound to ``stream``.
+
+        A punctuation: promises no tuple with arrival timestamp < ``ts``
+        will arrive, so time-based windows can close during silence.
+        """
+        if stream not in self._stream_baskets:
+            raise CatalogError(f"unknown stream {stream!r}")
+        for basket in self._stream_baskets[stream]:
+            basket.advance_watermark(ts)
+
+    def receptor(self, query: ContinuousQuery, stream_alias: str) -> Receptor:
+        """A receptor bound to one query's basket (threaded ingest)."""
+        return Receptor(query.baskets[stream_alias])
+
+    def run_until_idle(self) -> int:
+        """Fire all ready factories until quiescence; returns firings."""
+        return self.scheduler.run_until_idle()
+
+    def start(self) -> None:
+        """Run the scheduler in the background (used with receptors)."""
+        self.scheduler.start()
+
+    def stop(self, drain: bool = True) -> None:
+        self.scheduler.stop(drain=drain)
+
+    # ------------------------------------------------------------------
+    # one-time queries & introspection
+    # ------------------------------------------------------------------
+    def query_once(self, sql: str) -> dict[str, list]:
+        """Run a one-time query over base tables, returning named columns."""
+        planned = optimize(plan_query(sql, self.catalog))
+        for scan in find_scans(planned.plan):
+            if scan.is_stream:
+                raise UnsupportedQueryError(
+                    "query_once only supports base tables; submit() streams"
+                )
+        compiled = compile_full(planned)
+        inputs: dict[str, BAT] = {}
+        for alias, cols in compiled.scan_inputs.items():
+            table = self.catalog.table(
+                next(
+                    s.relation for s in find_scans(planned.plan) if s.alias == alias
+                )
+            )
+            for column, slot in cols.items():
+                inputs[slot] = table.column(column)
+        outputs = self._interp.run(compiled.program, inputs)
+        return {
+            name: outputs[slot].to_list()
+            for name, slot in zip(compiled.output_names, compiled.output_slots)
+        }
+
+    def explain(self, sql: str) -> str:
+        """The optimized logical plan, as text."""
+        planned = optimize(plan_query(sql, self.catalog))
+        return pretty_plan(planned.plan)
+
+    def explain_continuous(self, sql: str) -> str:
+        """The rewritten incremental programs, as text."""
+        planned = optimize(plan_query(sql, self.catalog))
+        return rewrite(planned).describe()

@@ -1,0 +1,532 @@
+"""Factories — resumable continuous-query executors.
+
+A factory encloses a rewritten (or re-evaluation) query plan and produces
+one result batch per window slide, exactly like the paper's co-routines:
+it consumes basic windows from its input baskets, caches/reuses partial
+results, and runs the merge machinery (paper Algorithm 2, generalized).
+
+Two implementations share the interface:
+
+* :class:`IncrementalFactory` — the paper's contribution (split /
+  replicate / merge / transition, per-pair join replication, landmark
+  compaction, optional m-chunk processing);
+* :class:`ReevalFactory` lives in :mod:`repro.core.reevaluate` — the
+  DataCellR baseline that recomputes the full window every slide.
+
+Factories are driven synchronously by the scheduler (or benchmarks):
+``ready()`` is the Petri-net firing condition, ``step()`` one transition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.basket import Basket
+from repro.core.partials import Bundle, PairStore, PartialStore
+from repro.core.rewriter.incremental import IncrementalPlan, packed, prep_slot
+from repro.core.windows import WindowSpec
+from repro.errors import SchedulerError, UnsupportedQueryError
+from repro.kernel.algebra.setops import concat
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.kernel.execution.interpreter import Interpreter
+from repro.kernel.execution.profiler import Profiler
+from repro.kernel.execution.program import TAG_MERGE
+from repro.kernel.storage import Table
+from repro.sql.physical import scan_slot
+
+
+@dataclass
+class ResultBatch:
+    """One window's result: named, aligned output columns."""
+
+    names: list[str]
+    columns: dict[str, BAT]
+    window_index: int
+    response_seconds: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> list[tuple]:
+        """The result as Python row tuples (tests, emitters)."""
+        if not self.names:
+            return []
+        cols = [self.columns[name].to_list() for name in self.names]
+        return list(zip(*cols))
+
+    def column(self, name: str) -> list:
+        return self.columns[name].to_list()
+
+    def __len__(self) -> int:
+        if not self.names:
+            return 0
+        return len(self.columns[self.names[0]])
+
+
+class _TimeSlicer:
+    """Tracks time-based basic-window boundaries for one stream."""
+
+    def __init__(self, step_us: int) -> None:
+        self.step_us = step_us
+        self.origin: Optional[int] = None
+        self.consumed_windows = 0
+
+    def observe(self, basket: Basket) -> None:
+        if self.origin is None and len(basket):
+            self.origin = int(basket.timestamps().tail[0])
+
+    def boundary(self, index: int) -> int:
+        assert self.origin is not None
+        return self.origin + (index + 1) * self.step_us
+
+    @property
+    def next_boundary(self) -> Optional[int]:
+        if self.origin is None:
+            return None
+        return self.boundary(self.consumed_windows)
+
+
+class FactoryBase:
+    """Common interface of continuous-query executors."""
+
+    name: str
+
+    def ready(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def step(self, profiler: Optional[Profiler] = None) -> Optional[ResultBatch]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class IncrementalFactory(FactoryBase):
+    """Executes an :class:`IncrementalPlan` over baskets.
+
+    The transition phase of the paper (shifting ``res1 = res2 ...``) is
+    realized by sequence-numbered partial stores; expiry *is* the shift.
+    """
+
+    def __init__(
+        self,
+        plan: IncrementalPlan,
+        baskets: dict[str, Basket],
+        tables: Optional[dict[str, Table]] = None,
+        name: str = "factory",
+    ) -> None:
+        self.name = name
+        self.plan = plan
+        self._baskets = baskets
+        self._tables = tables or {}
+        self._interp = Interpreter()
+        self._initialized = False
+        self.window_index = 0
+        self._slicers: dict[str, _TimeSlicer] = {}
+        for alias, window in plan.windows.items():
+            if alias not in baskets:
+                raise SchedulerError(f"no basket bound for stream {alias!r}")
+            if window.time_based:
+                self._slicers[alias] = _TimeSlicer(window.step)
+        if plan.is_join:
+            capacities = {
+                alias: plan.windows[alias].basic_windows
+                for alias in plan.stream_aliases
+            }
+            self._prep_stores = {
+                alias: PartialStore(capacities[alias]) for alias in plan.stream_aliases
+            }
+            left, right = self._pair_aliases()
+            self._pairs = PairStore(
+                capacities.get(left, 0), capacities.get(right, 0)
+            )
+            self._table_bundle: Optional[Bundle] = None
+        else:
+            alias = plan.stream_aliases[0]
+            self._store = PartialStore(plan.windows[alias].basic_windows)
+
+    # ------------------------------------------------------------------
+    # readiness (Petri-net firing condition)
+    # ------------------------------------------------------------------
+    def ready(self) -> bool:
+        return all(self._stream_ready(alias) for alias in self.plan.stream_aliases)
+
+    def _stream_ready(self, alias: str) -> bool:
+        window = self.plan.windows[alias]
+        basket = self._baskets[alias]
+        if window.time_based:
+            slicer = self._slicers[alias]
+            slicer.observe(basket)
+            watermark = basket.max_timestamp()
+            if watermark is None or slicer.origin is None:
+                return False
+            if not self._initialized and not window.is_landmark:
+                return watermark >= slicer.origin + window.size
+            boundary = slicer.next_boundary
+            return boundary is not None and watermark >= boundary
+        needed = self._needed_tuples(alias)
+        return len(basket) >= needed
+
+    def _needed_tuples(self, alias: str) -> int:
+        window = self.plan.windows[alias]
+        if window.is_landmark or self._initialized:
+            return window.step
+        return window.size  # first full window
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, profiler: Optional[Profiler] = None) -> Optional[ResultBatch]:
+        """Consume one slide's worth of input and emit the window result."""
+        if not self.ready():
+            return None
+        profiler = profiler if profiler is not None else Profiler()
+        start = time.perf_counter()
+        if self.plan.is_join:
+            self._step_join(profiler)
+        else:
+            self._step_single(profiler)
+        batch = self._merge_and_finalize(profiler)
+        batch.response_seconds = time.perf_counter() - start
+        batch.breakdown = profiler.snapshot()
+        self.window_index += 1
+        batch.window_index = self.window_index
+        self._initialized = True
+        return batch
+
+    # -- single stream ------------------------------------------------------
+    def _step_single(self, profiler: Profiler) -> None:
+        alias = self.plan.stream_aliases[0]
+        for cols in self._take_basic_windows(alias):
+            bundle = self._run_fragment(alias, cols, profiler)
+            self._store.add(bundle)
+
+    def _take_basic_windows(self, alias: str) -> list[dict[str, BAT]]:
+        """Slice (and consume) the basic windows owed for this step."""
+        window = self.plan.windows[alias]
+        basket = self._baskets[alias]
+        columns = self.plan.scan_columns[alias]
+        slices: list[dict[str, BAT]] = []
+        counts = self._owed_counts(alias)
+        with basket.locked():
+            for count in counts:
+                # Materialize each slice: delete_head compacts the basket's
+                # buffers in place, which would corrupt zero-copy views.
+                slices.append(
+                    {
+                        scan_slot(alias, col): BAT(
+                            np.array(bat.tail, copy=True), bat.atom, bat.hseq
+                        )
+                        for col, bat in basket.head_slice(count, columns).items()
+                    }
+                )
+                basket.delete_head(count)
+        del window
+        return slices
+
+    def _owed_counts(self, alias: str) -> list[int]:
+        """Tuple counts of the basic windows to consume this step."""
+        window = self.plan.windows[alias]
+        basket = self._baskets[alias]
+        if window.time_based:
+            slicer = self._slicers[alias]
+            counts = []
+            owed = 1
+            if not self._initialized and not window.is_landmark:
+                owed = window.basic_windows
+            consumed = 0  # count_before counts from the basket head
+            for __ in range(owed):
+                boundary = slicer.boundary(slicer.consumed_windows)
+                total = basket.count_before(boundary)
+                counts.append(total - consumed)
+                consumed = total
+                slicer.consumed_windows += 1
+            return counts
+        if window.is_landmark or self._initialized:
+            return [window.step]
+        return [window.step] * window.basic_windows
+
+    def _run_fragment(
+        self, alias: str, cols: dict[str, BAT], profiler: Profiler
+    ) -> Bundle:
+        assert self.plan.fragment is not None
+        outputs = self._interp.run(self.plan.fragment, cols, profiler)
+        return {
+            flow.name: outputs[slot]
+            for flow, slot in zip(self.plan.flows, self.plan.fragment.outputs)
+        }
+
+    # -- joins ------------------------------------------------------
+    def _pair_aliases(self) -> tuple[str, str]:
+        """(left, right) aliases of the pair fragment's inputs."""
+        aliases = list(self.plan.stream_aliases)
+        if self.plan.table_alias is not None:
+            aliases.append(self.plan.table_alias)
+        return aliases[0], aliases[1]
+
+    def _step_join(self, profiler: Profiler) -> None:
+        left_alias, right_alias = self._pair_aliases()
+        new_bundles: dict[str, list[int]] = {}
+        for alias in self.plan.stream_aliases:
+            store = self._prep_stores[alias]
+            seqs = []
+            for cols in self._take_basic_windows(alias):
+                bundle = self._run_prep(alias, cols, profiler)
+                seqs.append(store.add(bundle))
+            new_bundles[alias] = seqs
+
+        if self.plan.table_alias is not None and self._table_bundle is None:
+            self._table_bundle = self._run_table_prep(profiler)
+
+        pairs = self._new_pairs(left_alias, right_alias, new_bundles)
+        for left_seq, right_seq in pairs:
+            left_bundle = self._side_bundle(left_alias, left_seq)
+            right_bundle = self._side_bundle(right_alias, right_seq)
+            bundle = self._run_pair(left_alias, left_bundle, right_alias, right_bundle, profiler)
+            self._pairs.add(left_seq, right_seq, bundle)
+        self._expire_pairs(left_alias, right_alias)
+
+    def _side_bundle(self, alias: str, seq: int) -> Bundle:
+        if alias == self.plan.table_alias:
+            assert self._table_bundle is not None
+            return self._table_bundle
+        return self._prep_stores[alias].bundle(seq)
+
+    def _new_pairs(
+        self,
+        left_alias: str,
+        right_alias: str,
+        new_bundles: dict[str, list[int]],
+    ) -> list[tuple[int, int]]:
+        """Pairs whose result is not cached yet (newest × live, both ways)."""
+        pairs: list[tuple[int, int]] = []
+        new_left = set(new_bundles.get(left_alias, []))
+        new_right = set(new_bundles.get(right_alias, []))
+        left_seqs = self._side_seqs(left_alias)
+        right_seqs = self._side_seqs(right_alias)
+        for lseq in left_seqs:
+            for rseq in right_seqs:
+                if lseq in new_left or rseq in new_right:
+                    pairs.append((lseq, rseq))
+        return pairs
+
+    def _side_seqs(self, alias: str) -> list[int]:
+        if alias == self.plan.table_alias:
+            return [0]
+        return self._prep_stores[alias].live_seqs()
+
+    def _expire_pairs(self, left_alias: str, right_alias: str) -> None:
+        def newest(alias: str) -> int:
+            if alias == self.plan.table_alias:
+                return 0
+            seq = self._prep_stores[alias].newest_seq
+            return seq if seq is not None else 0
+
+        self._pairs.expire(newest(left_alias), newest(right_alias))
+
+    def _run_prep(
+        self, alias: str, cols: dict[str, BAT], profiler: Profiler
+    ) -> Bundle:
+        spec = self.plan.preps[alias]
+        outputs = self._interp.run(spec.program, cols, profiler)
+        return {
+            column: outputs[slot]
+            for column, slot in zip(spec.columns, spec.program.outputs)
+        }
+
+    def _run_table_prep(self, profiler: Profiler) -> Bundle:
+        alias = self.plan.table_alias
+        assert alias is not None
+        table = self._tables[alias]
+        spec = self.plan.preps[alias]
+        cols = {
+            scan_slot(alias, col): table.column(col)
+            for col in self.plan.scan_columns[alias]
+        }
+        outputs = self._interp.run(spec.program, cols, profiler)
+        return {
+            column: outputs[slot]
+            for column, slot in zip(spec.columns, spec.program.outputs)
+        }
+
+    def _run_pair(
+        self,
+        left_alias: str,
+        left_bundle: Bundle,
+        right_alias: str,
+        right_bundle: Bundle,
+        profiler: Profiler,
+    ) -> Bundle:
+        assert self.plan.pair_fragment is not None
+        inputs: dict[str, BAT] = {}
+        for column, bat in left_bundle.items():
+            inputs[prep_slot(left_alias, column)] = bat
+        for column, bat in right_bundle.items():
+            inputs[prep_slot(right_alias, column)] = bat
+        outputs = self._interp.run(self.plan.pair_fragment, inputs, profiler)
+        return {
+            flow.name: outputs[slot]
+            for flow, slot in zip(self.plan.flows, self.plan.pair_fragment.outputs)
+        }
+
+    # -- merge ------------------------------------------------------
+    def _live_bundles(self) -> list[Bundle]:
+        if self.plan.is_join:
+            return [bundle for __, bundle in self._pairs.live()]
+        return [bundle for __, bundle in self._store.live()]
+
+    def _pack_flows(self, bundles: list[Bundle], profiler: Profiler) -> dict[str, BAT]:
+        """Concatenate each flow's partials across live bundles."""
+        packed_cols: dict[str, BAT] = {}
+        for flow in self.plan.flows:
+            start = time.perf_counter()
+            packed_cols[packed(flow.name)] = concat(
+                [bundle[flow.name] for bundle in bundles]
+            )
+            profiler.record(TAG_MERGE, "mat.pack", time.perf_counter() - start)
+        return packed_cols
+
+    def _merge_and_finalize(self, profiler: Profiler) -> ResultBatch:
+        bundles = self._live_bundles()
+        if not bundles:
+            raise SchedulerError("no live partials to merge")
+        packed_cols = self._pack_flows(bundles, profiler)
+        combined = self._interp.run(self.plan.combine, packed_cols, profiler)
+        bundle = {flow.name: combined[flow.name] for flow in self.plan.flows}
+        if self._is_landmark:
+            self._compact_landmark(bundle)
+        outputs = self._interp.run(self.plan.finalize, bundle, profiler)
+        columns = {
+            name: outputs[slot]
+            for name, slot in zip(self.plan.output_names, self.plan.finalize.outputs)
+        }
+        return ResultBatch(
+            names=list(self.plan.output_names),
+            columns=columns,
+            window_index=self.window_index,
+            response_seconds=0.0,
+        )
+
+    @property
+    def _is_landmark(self) -> bool:
+        return any(w.is_landmark for w in self.plan.windows.values())
+
+    def _compact_landmark(self, bundle: Bundle) -> None:
+        """Replace all cached partials with the cumulative combined bundle."""
+        if self.plan.is_join:
+            left_alias, right_alias = self._pair_aliases()
+            newest_left = (
+                0
+                if left_alias == self.plan.table_alias
+                else (self._prep_stores[left_alias].newest_seq or 0)
+            )
+            newest_right = (
+                0
+                if right_alias == self.plan.table_alias
+                else (self._prep_stores[right_alias].newest_seq or 0)
+            )
+            self._pairs.replace_all(dict(bundle), (newest_left, newest_right))
+        else:
+            self._store.replace_all(dict(bundle))
+
+    # ------------------------------------------------------------------
+    # landmark reset (paper §3 "Landmark Window Queries": tuples expire
+    # "at most very infrequently, and then all past tuples expire by
+    # resetting the global landmark")
+    # ------------------------------------------------------------------
+    def reset_landmark(self) -> None:
+        """Move the landmark to now: discard all accumulated partials.
+
+        The next result covers only tuples arriving after the reset.  Only
+        valid for landmark queries.
+        """
+        if not self._is_landmark:
+            raise UnsupportedQueryError("reset_landmark needs a landmark window")
+        if self.plan.is_join:
+            for alias, store in self._prep_stores.items():
+                capacity = self.plan.windows[alias].basic_windows
+                self._prep_stores[alias] = PartialStore(capacity)
+            left, right = self._pair_aliases()
+            self._pairs = PairStore(
+                self.plan.windows[left].basic_windows if left in self.plan.windows else 0,
+                self.plan.windows[right].basic_windows if right in self.plan.windows else 0,
+            )
+        else:
+            alias = self.plan.stream_aliases[0]
+            self._store = PartialStore(self.plan.windows[alias].basic_windows)
+        for alias, slicer in self._slicers.items():
+            # Re-anchor time slicing at the next arrival after the reset.
+            remaining = self._baskets[alias]
+            slicer.origin = None
+            slicer.consumed_windows = 0
+            slicer.observe(remaining)
+
+    # ------------------------------------------------------------------
+    # m-chunk optimization (paper §3 "Optimized Incremental Plans")
+    # ------------------------------------------------------------------
+    def step_chunked(
+        self, m: int, profiler: Optional[Profiler] = None
+    ) -> Optional[ResultBatch]:
+        """One slide processing the newest basic window in ``m`` chunks.
+
+        Chunks 0..m-2 model work done *while tuples stream in*; only the
+        last chunk plus all merging counts toward the reported response
+        time — exactly the latency the paper's Figure 8 measures.  The
+        chunk results are themselves merged with the *combine* program
+        (bundle closure), then handled like a normal basic-window partial.
+
+        Only single-stream count-based sliding queries support chunking.
+        """
+        if self.plan.is_join:
+            raise UnsupportedQueryError("m-chunk processing needs a single stream")
+        alias = self.plan.stream_aliases[0]
+        window = self.plan.windows[alias]
+        if window.time_based or window.is_landmark:
+            raise UnsupportedQueryError(
+                "m-chunk processing needs a count-based sliding window"
+            )
+        if m < 1:
+            raise UnsupportedQueryError("m must be >= 1")
+        if not self.ready():
+            return None
+        if not self._initialized:
+            return self.step(profiler)  # preface: plain initial window
+        profiler = profiler if profiler is not None else Profiler()
+        basket = self._baskets[alias]
+        columns = self.plan.scan_columns[alias]
+        step_size = window.step
+        m = min(m, step_size)
+        chunk = step_size // m
+        sizes = [chunk] * m
+        sizes[-1] += step_size - chunk * m
+        chunk_bundles: list[Bundle] = []
+        pre_profiler = Profiler()
+        with basket.locked():
+            for size in sizes[:-1]:
+                cols = {
+                    scan_slot(alias, col): bat
+                    for col, bat in basket.head_slice(size, columns).items()
+                }
+                chunk_bundles.append(self._run_fragment(alias, cols, pre_profiler))
+                basket.delete_head(size)
+            # ---- response-time window starts with the last chunk ----
+            start = time.perf_counter()
+            cols = {
+                scan_slot(alias, col): bat
+                for col, bat in basket.head_slice(sizes[-1], columns).items()
+            }
+            chunk_bundles.append(self._run_fragment(alias, cols, profiler))
+            basket.delete_head(sizes[-1])
+        if m > 1:
+            packed_cols = self._pack_flows(chunk_bundles, profiler)
+            combined = self._interp.run(self.plan.combine, packed_cols, profiler)
+            bw_bundle = {flow.name: combined[flow.name] for flow in self.plan.flows}
+        else:
+            bw_bundle = chunk_bundles[0]
+        self._store.add(bw_bundle)
+        batch = self._merge_and_finalize(profiler)
+        batch.response_seconds = time.perf_counter() - start
+        batch.breakdown = profiler.snapshot()
+        self.window_index += 1
+        batch.window_index = self.window_index
+        return batch

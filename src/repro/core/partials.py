@@ -1,0 +1,125 @@
+"""Stores for cached intermediate results ("partials").
+
+The paper's transition phase (Algorithm 2, lines 20-21: ``res1 = res2, ...``)
+shifts intermediates one position as the window slides.  We realize the same
+bookkeeping with sequence numbers: every basic window gets a monotonically
+increasing ``seq``; a sliding window of ``n`` basic windows keeps exactly
+the bundles with ``seq > newest - n``.  Join queries additionally keep one
+bundle per *pair* of basic windows, expiring a pair when either side does.
+
+A *bundle* is a dict ``flow name → BAT`` — the cached output of one
+per-basic-window (or per-pair) plan fragment.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchedulerError
+from repro.kernel.bat import BAT
+
+Bundle = dict[str, BAT]
+
+
+@dataclass
+class PartialStore:
+    """Ring of per-basic-window bundles for one (stream's) flow set.
+
+    ``capacity`` is the number of live basic windows ``n``; 0 means
+    unbounded (landmark mode keeps a single *cumulative* bundle instead,
+    see :meth:`replace_all`).
+    """
+
+    capacity: int
+    _bundles: "OrderedDict[int, Bundle]" = field(default_factory=OrderedDict)
+    _next_seq: int = 0
+
+    def add(self, bundle: Bundle) -> int:
+        """Store the newest bundle; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._bundles[seq] = bundle
+        if self.capacity:
+            low = seq - self.capacity
+            while self._bundles and next(iter(self._bundles)) <= low:
+                self._bundles.popitem(last=False)
+        return seq
+
+    def live(self) -> list[tuple[int, Bundle]]:
+        """Live bundles, oldest first."""
+        return list(self._bundles.items())
+
+    def live_seqs(self) -> list[int]:
+        return list(self._bundles)
+
+    def bundle(self, seq: int) -> Bundle:
+        try:
+            return self._bundles[seq]
+        except KeyError:
+            raise SchedulerError(f"partial for basic window {seq} expired") from None
+
+    def replace_all(self, bundle: Bundle) -> None:
+        """Collapse the store to one cumulative bundle (landmark compaction).
+
+        The combined bundle keeps the seq of the newest constituent so
+        subsequent adds stay ordered.
+        """
+        if not self._bundles:
+            raise SchedulerError("cannot compact an empty partial store")
+        newest = next(reversed(self._bundles))
+        self._bundles.clear()
+        self._bundles[newest] = bundle
+
+    @property
+    def newest_seq(self) -> Optional[int]:
+        if not self._bundles:
+            return None
+        return next(reversed(self._bundles))
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+
+@dataclass
+class PairStore:
+    """Per-(left seq, right seq) bundles for two-stream join queries.
+
+    A pair expires as soon as either constituent basic window slides out of
+    its stream's focus window — mirroring the paper's rule that selection
+    intermediates "need to be kept and joined with newly arriving data until
+    the respective basic windows expire".
+    """
+
+    left_capacity: int
+    right_capacity: int
+    _bundles: dict[tuple[int, int], Bundle] = field(default_factory=dict)
+
+    def add(self, left_seq: int, right_seq: int, bundle: Bundle) -> None:
+        self._bundles[(left_seq, right_seq)] = bundle
+
+    def expire(self, newest_left: int, newest_right: int) -> None:
+        """Drop pairs whose left or right basic window has expired."""
+        low_left = newest_left - self.left_capacity if self.left_capacity else None
+        low_right = newest_right - self.right_capacity if self.right_capacity else None
+        dead = [
+            key
+            for key in self._bundles
+            if (low_left is not None and key[0] <= low_left)
+            or (low_right is not None and key[1] <= low_right)
+        ]
+        for key in dead:
+            del self._bundles[key]
+
+    def live(self) -> list[tuple[tuple[int, int], Bundle]]:
+        """Live pair bundles, ordered by (left seq, right seq)."""
+        return sorted(self._bundles.items())
+
+    def replace_all(self, bundle: Bundle, key: tuple[int, int]) -> None:
+        """Collapse to one cumulative bundle (landmark joins)."""
+        self._bundles.clear()
+        self._bundles[key] = bundle
+
+    def __len__(self) -> int:
+        return len(self._bundles)

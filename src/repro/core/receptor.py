@@ -1,0 +1,88 @@
+"""Receptors — the ingress edge of the DataCell architecture (Figure 1).
+
+A receptor feeds one stream's basket.  The synchronous methods are what
+benchmarks use (bulk columnar appends measured as "loading" cost); the
+threaded mode consumes an iterable of rows in the background for the
+example applications.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.basket import Basket
+from repro.errors import StreamError
+
+
+class Receptor:
+    """Feeds tuples into a basket, synchronously or from a thread."""
+
+    def __init__(self, basket: Basket, batch_size: int = 1024) -> None:
+        self.basket = basket
+        self.batch_size = batch_size
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self.delivered = 0
+
+    # -- synchronous paths -------------------------------------------------
+    def push_rows(
+        self, rows: Iterable[Sequence], timestamps: Optional[Sequence[int]] = None
+    ) -> int:
+        count = self.basket.append_rows(rows, timestamps)
+        self.delivered += count
+        return count
+
+    def push_columns(
+        self,
+        columns: Mapping[str, Sequence | np.ndarray],
+        timestamps: Optional[Sequence[int] | np.ndarray] = None,
+    ) -> int:
+        count = self.basket.append_columns(columns, timestamps)
+        self.delivered += count
+        return count
+
+    # -- background path -------------------------------------------------
+    def start(
+        self,
+        source: Iterator[Sequence],
+        on_batch: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Consume ``source`` rows into the basket from a daemon thread."""
+        if self._thread is not None:
+            raise StreamError("receptor already running")
+        self._stop_event.clear()
+
+        def loop() -> None:
+            batch: list[Sequence] = []
+            for row in source:
+                if self._stop_event.is_set():
+                    break
+                batch.append(row)
+                if len(batch) >= self.batch_size:
+                    self.push_rows(batch)
+                    if on_batch is not None:
+                        on_batch(len(batch))
+                    batch = []
+            if batch and not self._stop_event.is_set():
+                self.push_rows(batch)
+                if on_batch is not None:
+                    on_batch(len(batch))
+
+        self._thread = threading.Thread(
+            target=loop, name=f"receptor-{self.basket.name}", daemon=True
+        )
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the background source to be fully consumed."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if not self._thread.is_alive():
+                self._thread = None
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join()

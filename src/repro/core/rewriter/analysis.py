@@ -1,0 +1,188 @@
+"""Decomposition of optimized plans into the incremental rewrite shape.
+
+The rewriter consumes the canonical plan produced by the planner/optimizer
+and splits it at the deepest point where replication per basic window stays
+valid (paper §3: "split the plan as deep as possible").  For the supported
+query class that point is immediately *below* the first non-distributable
+operator:
+
+* the final merge of a (grouped or global) aggregation, or
+* for select-only queries, the DISTINCT/ORDER BY/LIMIT block (map-like
+  projection itself replicates freely).
+
+The analysis yields a :class:`PlanShape` naming the pieces; program
+construction happens in :mod:`repro.core.rewriter.incremental`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UnsupportedQueryError
+from repro.core.windows import WindowSpec
+from repro.sql.ast import Expr
+from repro.sql.logical import (
+    LAggregate,
+    LDistinct,
+    LFilter,
+    LJoin,
+    LLimit,
+    LOrder,
+    LProject,
+    LScan,
+    LogicalNode,
+)
+from repro.sql.planner import PlannedQuery
+
+
+@dataclass
+class StreamInput:
+    """One stream leaf of the plan with its window and pushed-down filter."""
+
+    scan: LScan
+    predicate: Optional[Expr]
+    window: WindowSpec
+
+    @property
+    def alias(self) -> str:
+        return self.scan.alias
+
+
+@dataclass
+class TableInput:
+    """A static (non-stream) leaf in a hybrid stream⋈table query."""
+
+    scan: LScan
+    predicate: Optional[Expr]
+
+    @property
+    def alias(self) -> str:
+        return self.scan.alias
+
+
+@dataclass
+class PlanShape:
+    """The decomposed canonical plan."""
+
+    streams: list[StreamInput]
+    table: Optional[TableInput]
+    join: Optional[LJoin]
+    residual: Optional[Expr]  # post-join, pre-aggregation filter
+    aggregate: Optional[LAggregate]
+    having: Optional[Expr]
+    project: LProject
+    distinct: bool
+    order: Optional[LOrder]
+    limit: Optional[LLimit]
+
+    @property
+    def is_join(self) -> bool:
+        return self.join is not None
+
+
+def _strip_filter(node: LogicalNode) -> tuple[LogicalNode, Optional[Expr]]:
+    if isinstance(node, LFilter):
+        return node.child, node.predicate
+    return node, None
+
+
+def analyze(planned: PlannedQuery) -> PlanShape:
+    """Decompose ``planned`` or raise :class:`UnsupportedQueryError`."""
+    node = planned.plan
+
+    limit = None
+    if isinstance(node, LLimit):
+        limit = node
+        node = node.child
+    order = None
+    if isinstance(node, LOrder):
+        order = node
+        node = node.child
+    distinct = False
+    if isinstance(node, LDistinct):
+        distinct = True
+        node = node.child
+    if not isinstance(node, LProject):
+        raise UnsupportedQueryError(
+            f"unexpected plan root {type(node).__name__} (expected Project)"
+        )
+    project = node
+    node = project.child
+
+    having = None
+    aggregate = None
+    if isinstance(node, LFilter) and isinstance(node.child, LAggregate):
+        having = node.predicate
+        node = node.child
+    if isinstance(node, LAggregate):
+        aggregate = node
+        node = node.child
+
+    node, residual = _strip_filter(node)
+
+    streams: list[StreamInput] = []
+    table: Optional[TableInput] = None
+    join: Optional[LJoin] = None
+    if isinstance(node, LJoin):
+        join = node
+        for side in (node.left, node.right):
+            leaf, predicate = _strip_filter(side)
+            if not isinstance(leaf, LScan):
+                raise UnsupportedQueryError("join inputs must be base relations")
+            if leaf.is_stream:
+                streams.append(
+                    StreamInput(leaf, predicate, _window_of(leaf))
+                )
+            else:
+                if table is not None:
+                    raise UnsupportedQueryError(
+                        "continuous queries need at least one stream input"
+                    )
+                table = TableInput(leaf, predicate)
+    else:
+        leaf, predicate = _strip_filter(node)
+        if not isinstance(leaf, LScan):
+            raise UnsupportedQueryError(
+                f"unsupported plan bottom {type(leaf).__name__}"
+            )
+        if residual is not None:
+            # a single-relation residual is just another filter conjunct
+            from repro.sql.ast import BinOp
+
+            predicate = (
+                residual if predicate is None else BinOp("and", predicate, residual)
+            )
+            residual = None
+        if not leaf.is_stream:
+            raise UnsupportedQueryError(
+                "continuous queries require a stream in FROM"
+            )
+        streams.append(StreamInput(leaf, predicate, _window_of(leaf)))
+
+    if not streams:
+        raise UnsupportedQueryError("continuous queries require a stream input")
+    if join is not None and len(streams) + (1 if table else 0) != 2:
+        raise UnsupportedQueryError("joins must have exactly two inputs")
+
+    return PlanShape(
+        streams=streams,
+        table=table,
+        join=join,
+        residual=residual,
+        aggregate=aggregate,
+        having=having,
+        project=project,
+        distinct=distinct,
+        order=order,
+        limit=limit,
+    )
+
+
+def _window_of(scan: LScan) -> WindowSpec:
+    if scan.window is None:
+        raise UnsupportedQueryError(
+            f"stream {scan.relation!r} needs a window clause "
+            "(e.g. [RANGE 1000 SLIDE 100])"
+        )
+    return WindowSpec.from_clause(scan.window)

@@ -1,0 +1,112 @@
+"""Flow classification — the paper's operator taxonomy (Figure 3).
+
+A *flow* is one cached intermediate column threaded from the per-basic-
+window fragments through the merge into the finalize step.  Each flow
+carries a *kind* that fixes how partials combine:
+
+========== =============================== ==========================
+kind        fragment emits (per bw/pair)    combine over packed parts
+========== =============================== ==========================
+``pack``    a result column as-is           concatenation only
+``gkey``    group-key values                re-group (with all gkeys)
+``gsum``    per-group partial sums          ``subsum``
+``gcount``  per-group partial counts        ``subsum``  (count → sum!)
+``gmin``    per-group partial minima        ``submin``
+``gmax``    per-group partial maxima        ``submax``
+``sum``     1-row global partial sum        ``sum``
+``count``   1-row global partial count      ``sum``     (count → sum!)
+``min``     1-row global partial min        ``min``
+``max``     1-row global partial max        ``max``
+========== =============================== ==========================
+
+AVG is the paper's *expanding replication* case: it contributes a sum flow
+and a count flow and is finalized as their quotient — never combined
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedQueryError
+from repro.sql.logical import AggSpec
+
+#: combine opcode per grouped flow kind
+GROUPED_COMBINE = {
+    "gsum": "aggr.subsum",
+    "gcount": "aggr.subsum",
+    "gmin": "aggr.submin",
+    "gmax": "aggr.submax",
+}
+
+#: combine opcode per global flow kind
+GLOBAL_COMBINE = {
+    "sum": "aggr.sum",
+    "count": "aggr.sum",
+    "min": "aggr.min",
+    "max": "aggr.max",
+}
+
+#: fragment opcode per grouped flow kind
+GROUPED_FRAGMENT = {
+    "gsum": "aggr.subsum",
+    "gcount": "aggr.subcount",
+    "gmin": "aggr.submin",
+    "gmax": "aggr.submax",
+}
+
+#: fragment opcode per global flow kind
+GLOBAL_FRAGMENT = {
+    "sum": "aggr.sum",
+    "count": "aggr.count",
+    "min": "aggr.min",
+    "max": "aggr.max",
+}
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One intermediate column tracked across basic windows."""
+
+    name: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class AggPlanEntry:
+    """How one SQL aggregate maps onto flows and its finalize action.
+
+    ``finalize`` is either ``("flow", flow_name)`` for directly-combinable
+    aggregates or ``("div", sum_flow, count_flow)`` for AVG (expanding
+    replication).
+    """
+
+    spec: AggSpec
+    flows: tuple[Flow, ...]
+    finalize: tuple
+
+
+def plan_aggregate_flows(
+    aggs: list[AggSpec], grouped: bool
+) -> tuple[list[Flow], list[AggPlanEntry]]:
+    """Expand aggregate specs into flows per the operator taxonomy."""
+    flows: list[Flow] = []
+    entries: list[AggPlanEntry] = []
+    for spec in aggs:
+        if spec.func in ("sum", "count", "min", "max"):
+            kind = ("g" if grouped else "") + spec.func
+            flow = Flow(spec.out, kind)
+            flows.append(flow)
+            entries.append(AggPlanEntry(spec, (flow,), ("flow", flow.name)))
+        elif spec.func == "avg":
+            sum_flow = Flow(f"{spec.out}__sum", "gsum" if grouped else "sum")
+            cnt_flow = Flow(f"{spec.out}__cnt", "gcount" if grouped else "count")
+            flows += [sum_flow, cnt_flow]
+            entries.append(
+                AggPlanEntry(
+                    spec, (sum_flow, cnt_flow), ("div", sum_flow.name, cnt_flow.name)
+                )
+            )
+        else:  # pragma: no cover - binder rejects unknown aggregates
+            raise UnsupportedQueryError(f"cannot rewrite aggregate {spec.func!r}")
+    return flows, entries

@@ -1,0 +1,123 @@
+"""The DataCell scheduler — a Petri-net execution model (paper §2).
+
+Factories are transitions; baskets are places; a factory *fires* when its
+``ready()`` condition holds (enough tuples in every input basket).  The
+scheduler repeatedly scans for enabled factories and steps them, routing
+each produced :class:`ResultBatch` to the query's emitters.
+
+Two driving modes:
+
+* synchronous — benchmarks and tests call :meth:`run_until_idle` after
+  feeding data, so response times are measured without thread noise;
+* background — examples start :meth:`start` / :meth:`stop` to process
+  arrivals from receptor threads continuously.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.factory import FactoryBase, ResultBatch
+from repro.errors import SchedulerError
+from repro.kernel.execution.profiler import Profiler
+
+ResultSink = Callable[[str, ResultBatch], None]
+
+
+@dataclass
+class _Registration:
+    factory: FactoryBase
+    sinks: list[ResultSink] = field(default_factory=list)
+    steps: int = 0
+
+
+class Scheduler:
+    """Fires ready factories and dispatches their results."""
+
+    def __init__(self, max_steps_per_scan: int = 1_000_000) -> None:
+        self._registrations: dict[str, _Registration] = {}
+        self._lock = threading.RLock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._max_steps_per_scan = max_steps_per_scan
+        self.profiler = Profiler()
+
+    # -- registration ------------------------------------------------------
+    def register(self, factory: FactoryBase, *sinks: ResultSink) -> None:
+        with self._lock:
+            if factory.name in self._registrations:
+                raise SchedulerError(f"factory {factory.name!r} already registered")
+            self._registrations[factory.name] = _Registration(factory, list(sinks))
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._registrations.pop(name, None)
+
+    def add_sink(self, name: str, sink: ResultSink) -> None:
+        with self._lock:
+            self._registrations[name].sinks.append(sink)
+
+    def factories(self) -> list[str]:
+        with self._lock:
+            return list(self._registrations)
+
+    # -- synchronous driving ------------------------------------------------
+    def run_once(self) -> int:
+        """One scan: step every currently-ready factory once.
+
+        Returns the number of firings.
+        """
+        fired = 0
+        with self._lock:
+            registrations = list(self._registrations.values())
+        for registration in registrations:
+            factory = registration.factory
+            if factory.ready():
+                batch = factory.step(self.profiler)
+                if batch is not None:
+                    fired += 1
+                    registration.steps += 1
+                    self._dispatch(factory.name, registration, batch)
+        return fired
+
+    def run_until_idle(self) -> int:
+        """Scan until no factory is ready; returns total firings."""
+        total = 0
+        for __ in range(self._max_steps_per_scan):
+            fired = self.run_once()
+            if fired == 0:
+                return total
+            total += fired
+        raise SchedulerError("run_until_idle exceeded the step budget")
+
+    def _dispatch(self, name: str, registration: _Registration, batch: ResultBatch) -> None:
+        for sink in registration.sinks:
+            sink(name, batch)
+
+    # -- background driving ------------------------------------------------
+    def start(self, poll_interval: float = 0.001) -> None:
+        """Run the scheduler loop in a daemon thread."""
+        if self._thread is not None:
+            raise SchedulerError("scheduler already running")
+        self._stop_event.clear()
+
+        def loop() -> None:
+            while not self._stop_event.is_set():
+                if self.run_once() == 0:
+                    time.sleep(poll_interval)
+
+        self._thread = threading.Thread(target=loop, name="datacell-scheduler", daemon=True)
+        self._thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the background loop (optionally draining ready work first)."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+        if drain:
+            self.run_until_idle()

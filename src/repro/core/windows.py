@@ -1,0 +1,96 @@
+"""Window specifications for continuous queries.
+
+DataCell supports the paper's window families:
+
+* count-based sliding windows (``|W|`` tuples, sliding by ``|w|``),
+* tumbling/hopping windows (slide ≥ size — handled as ``n = 1``),
+* landmark windows (fixed start, report every ``|w|`` tuples),
+* time-based sliding windows (size/step in microseconds over an arrival
+  timestamp).
+
+The incremental machinery only depends on ``n = |W| / |w|`` (the number of
+basic windows) and on how the factory slices basket contents into basic
+windows, both of which this module centralizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UnsupportedQueryError
+from repro.sql.ast import WindowClause
+
+#: Name of the implicit arrival-timestamp column receptors attach.
+TS_COLUMN = "__ts__"
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Normalized window parameters for one stream input of a query.
+
+    ``size`` and ``step`` are tuple counts for count-based windows and
+    microseconds for time-based ones.  ``size`` is None for landmark
+    windows.
+    """
+
+    kind: str  # "sliding" | "tumbling" | "landmark"
+    size: Optional[int]
+    step: int
+    time_based: bool = False
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise UnsupportedQueryError("window step must be positive")
+        if self.kind in ("sliding", "tumbling"):
+            if self.size is None or self.size <= 0:
+                raise UnsupportedQueryError("window size must be positive")
+            if self.size % self.step != 0:
+                raise UnsupportedQueryError(
+                    f"window size {self.size} must be a multiple of the "
+                    f"step {self.step} (n = |W|/|w| basic windows)"
+                )
+        elif self.kind == "landmark":
+            if self.size is not None:
+                raise UnsupportedQueryError("landmark windows have no size")
+        else:
+            raise UnsupportedQueryError(f"unknown window kind {self.kind!r}")
+
+    @property
+    def basic_windows(self) -> int:
+        """``n = |W| / |w|``; 1 for tumbling, 0 (unbounded) for landmark."""
+        if self.kind == "landmark":
+            return 0
+        assert self.size is not None
+        return self.size // self.step
+
+    @property
+    def is_landmark(self) -> bool:
+        return self.kind == "landmark"
+
+    @staticmethod
+    def from_clause(clause: WindowClause) -> "WindowSpec":
+        return WindowSpec(clause.kind, clause.size, clause.step, clause.time_based)
+
+    @staticmethod
+    def sliding(size: int, step: int) -> "WindowSpec":
+        """Count-based sliding window helper."""
+        kind = "tumbling" if step >= size else "sliding"
+        return WindowSpec(kind, size, step if kind == "sliding" else size, False)
+
+    @staticmethod
+    def tumbling(size: int) -> "WindowSpec":
+        return WindowSpec("tumbling", size, size, False)
+
+    @staticmethod
+    def landmark(step: int) -> "WindowSpec":
+        return WindowSpec("landmark", None, step, False)
+
+    @staticmethod
+    def time_sliding(size_us: int, step_us: int) -> "WindowSpec":
+        if size_us % step_us != 0:
+            raise UnsupportedQueryError(
+                "time window size must be a multiple of the step"
+            )
+        kind = "tumbling" if step_us == size_us else "sliding"
+        return WindowSpec(kind, size_us, step_us, True)

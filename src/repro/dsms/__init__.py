@@ -1,0 +1,24 @@
+"""SystemX — the specialized tuple-at-a-time stream engine stand-in."""
+
+from repro.dsms.accumulators import (
+    AvgAccumulator,
+    CountAccumulator,
+    GroupedAccumulators,
+    MaxAccumulator,
+    MinAccumulator,
+    SumAccumulator,
+    make_accumulator,
+)
+from repro.dsms.engine import SystemX, SystemXQuery
+
+__all__ = [
+    "AvgAccumulator",
+    "CountAccumulator",
+    "GroupedAccumulators",
+    "MaxAccumulator",
+    "MinAccumulator",
+    "SumAccumulator",
+    "SystemX",
+    "SystemXQuery",
+    "make_accumulator",
+]

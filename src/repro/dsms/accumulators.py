@@ -1,0 +1,182 @@
+"""Incremental per-tuple aggregate accumulators.
+
+These are the specialized stream operators of the paper's related work
+(stream aggregates with per-tuple add/retract, e.g. [17, 19, 26]): every
+accumulator supports ``add(value)`` and ``retract(value)`` so window expiry
+can undo a tuple's contribution without recomputation.
+
+MIN/MAX cannot be retracted from a scalar, so they keep a lazy-deletion
+heap over a value-count table — the classical bounded-memory trick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Optional
+
+
+class SumAccumulator:
+    """Retractable SUM."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.count = 0
+
+    def add(self, value) -> None:
+        self.total += value
+        self.count += 1
+
+    def retract(self, value) -> None:
+        self.total -= value
+        self.count -= 1
+
+    def value(self):
+        return self.total if self.count else None
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+
+class CountAccumulator:
+    """Retractable COUNT."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value=None) -> None:
+        self.count += 1
+
+    def retract(self, value=None) -> None:
+        self.count -= 1
+
+    def value(self) -> int:
+        return self.count
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+
+class AvgAccumulator:
+    """Retractable AVG via (sum, count)."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.count = 0
+
+    def add(self, value) -> None:
+        self.total += value
+        self.count += 1
+
+    def retract(self, value) -> None:
+        self.total -= value
+        self.count -= 1
+
+    def value(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+
+class _ExtremeAccumulator:
+    """Shared machinery for retractable MIN/MAX (lazy-deletion heap)."""
+
+    def __init__(self, sign: int) -> None:
+        self._sign = sign  # -1 for max (negate into a min-heap), +1 for min
+        self._heap: list = []
+        self._counts: Counter = Counter()
+        self._size = 0
+
+    def add(self, value) -> None:
+        self._counts[value] += 1
+        heapq.heappush(self._heap, self._sign * value)
+        self._size += 1
+
+    def retract(self, value) -> None:
+        self._counts[value] -= 1
+        if self._counts[value] <= 0:
+            del self._counts[value]
+        self._size -= 1
+
+    def value(self):
+        while self._heap:
+            candidate = self._sign * self._heap[0]
+            if self._counts.get(candidate, 0) > 0:
+                return candidate
+            heapq.heappop(self._heap)  # stale entry (already retracted)
+        return None
+
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+
+class MinAccumulator(_ExtremeAccumulator):
+    """Retractable MIN."""
+
+    def __init__(self) -> None:
+        super().__init__(sign=1)
+
+
+class MaxAccumulator(_ExtremeAccumulator):
+    """Retractable MAX."""
+
+    def __init__(self) -> None:
+        super().__init__(sign=-1)
+
+
+_FACTORIES = {
+    "sum": SumAccumulator,
+    "count": CountAccumulator,
+    "avg": AvgAccumulator,
+    "min": MinAccumulator,
+    "max": MaxAccumulator,
+}
+
+
+def make_accumulator(func: str):
+    """Instantiate the accumulator for an SQL aggregate name."""
+    return _FACTORIES[func]()
+
+
+class GroupedAccumulators:
+    """Per-group accumulator bank for GROUP BY aggregation.
+
+    Groups appear on first add and disappear when every member aggregate is
+    empty again (tracked via a per-group tuple count).
+    """
+
+    def __init__(self, funcs: list[str]) -> None:
+        self._funcs = funcs
+        self._groups: dict = {}
+        self._sizes: Counter = Counter()
+
+    def add(self, key, values: list) -> None:
+        bank = self._groups.get(key)
+        if bank is None:
+            bank = [make_accumulator(func) for func in self._funcs]
+            self._groups[key] = bank
+        for accumulator, value in zip(bank, values):
+            accumulator.add(value)
+        self._sizes[key] += 1
+
+    def retract(self, key, values: list) -> None:
+        bank = self._groups[key]
+        for accumulator, value in zip(bank, values):
+            accumulator.retract(value)
+        self._sizes[key] -= 1
+        if self._sizes[key] <= 0:
+            del self._groups[key]
+            del self._sizes[key]
+
+    def snapshot(self) -> list[tuple]:
+        """(key, [aggregate values...]) per live group, in key order."""
+        return [
+            (key, [accumulator.value() for accumulator in bank])
+            for key, bank in sorted(self._groups.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._groups)

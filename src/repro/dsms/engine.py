@@ -1,0 +1,351 @@
+"""SystemX — a specialized tuple-at-a-time stream engine (simulation).
+
+The paper benchmarks DataCell against an unnamed commercial DSMS
+("SystemX").  This module is its architectural stand-in: a volcano-style
+engine that processes **one tuple at a time** with operator-level
+incremental windows — per-tuple filters, symmetric hash joins with probe-
+on-arrival/retract-on-expiry, and retractable aggregate accumulators.
+
+It shares the SQL front-end (a real product would have its own parser;
+reusing ours keeps the workloads identical) but *none* of the kernel: no
+BATs, no vectorized operators, no plan programs.  Its cost profile — low
+fixed overhead per window, linear per-tuple interpretation cost — is the
+specialized-engine profile Figure 9 contrasts with DataCell's bulk
+processing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.rewriter.analysis import PlanShape, StreamInput, analyze
+from repro.core.windows import WindowSpec
+from repro.dsms.accumulators import GroupedAccumulators
+from repro.dsms.expr import compile_output_expr, compile_scalar
+from repro.errors import DsmsError
+from repro.kernel.storage import Catalog
+from repro.sql.optimizer import optimize
+from repro.sql.planner import PlannedQuery, plan_query
+
+
+@dataclass
+class _SideState:
+    """Per-stream runtime state of a query.
+
+    Tuples first land in ``pending`` and are *admitted* into the window
+    structures only up to the current window boundary, so correctness does
+    not depend on how the benchmark interleaves the input streams.
+    """
+
+    alias: str
+    window: WindowSpec
+    filter_fn: Optional[Callable]
+    key_fn: Optional[Callable]  # join key (join queries only)
+    pending: deque = field(default_factory=deque)
+    buffer: deque = field(default_factory=deque)
+    hash_table: dict = field(default_factory=dict)
+    admitted: int = 0
+    emitted: int = 0
+
+    def admission_limit(self) -> int:
+        """Tuples allowed into the window before the next emission."""
+        if self.window.is_landmark:
+            return (self.emitted + 1) * self.window.step
+        return self.window.size + self.emitted * self.window.step
+
+    def due(self) -> bool:
+        """Has this side admitted a full slide?"""
+        return self.admitted >= self.admission_limit()
+
+
+class SystemXQuery:
+    """One registered continuous query inside SystemX."""
+
+    def __init__(self, planned: PlannedQuery, name: str) -> None:
+        self.name = name
+        self.planned = planned
+        shape = analyze(planned)
+        self._shape = shape
+        binding = planned.binding
+        if shape.table is not None:
+            raise DsmsError("SystemX does not join streams with stored tables")
+        for stream in shape.streams:
+            if stream.window.time_based:
+                raise DsmsError("the SystemX simulation supports count-based windows")
+
+        index_maps = {
+            s.alias: {col: i for i, (col, __) in enumerate(s.scan.schema)}
+            for s in shape.streams
+        }
+        self._sides: dict[str, _SideState] = {}
+        for stream in shape.streams:
+            filter_fn = (
+                compile_scalar(stream.predicate, binding, index_maps)
+                if stream.predicate is not None
+                else None
+            )
+            self._sides[stream.alias] = _SideState(
+                stream.alias, stream.window, filter_fn, None
+            )
+        self._residual_fn = (
+            compile_scalar(shape.residual, binding, index_maps)
+            if shape.residual is not None
+            else None
+        )
+
+        self._is_join = shape.is_join
+        if self._is_join:
+            assert shape.join is not None
+            left_alias = binding.resolve(shape.join.left_key).alias
+            right_alias = binding.resolve(shape.join.right_key).alias
+            self._left_alias, self._right_alias = left_alias, right_alias
+            self._sides[left_alias].key_fn = compile_scalar(
+                shape.join.left_key, binding, index_maps
+            )
+            self._sides[right_alias].key_fn = compile_scalar(
+                shape.join.right_key, binding, index_maps
+            )
+
+        aggregate = shape.aggregate
+        self._aggregate = aggregate
+        if aggregate is not None:
+            self._key_fns = [
+                compile_scalar(key, binding, index_maps) for key in aggregate.keys
+            ]
+            self._arg_fns = [
+                compile_scalar(spec.arg, binding, index_maps)
+                if spec.arg is not None
+                else (lambda rows: 1)
+                for spec in aggregate.aggs
+            ]
+            self._funcs = [spec.func for spec in aggregate.aggs]
+            self._accs = GroupedAccumulators(self._funcs)
+            columns = {f"key_{i}": i for i in range(len(aggregate.keys))}
+            for i, spec in enumerate(aggregate.aggs):
+                columns[spec.out] = len(aggregate.keys) + i
+            self._synthetic_columns = columns
+        else:
+            self._item_fns = [
+                compile_scalar(expr, binding, index_maps)
+                for expr, __ in shape.project.items
+            ]
+            self._pair_counter: Counter = Counter()
+            columns = {name: i for i, (__, name) in enumerate(shape.project.items)}
+            self._synthetic_columns = columns
+
+        self._having_fn = (
+            compile_output_expr(shape.having, self._synthetic_columns)
+            if shape.having is not None
+            else None
+        )
+        if aggregate is not None:
+            self._project_fns = [
+                compile_output_expr(expr, self._synthetic_columns)
+                for expr, __ in shape.project.items
+            ]
+        else:
+            self._project_fns = None  # projection happened per tuple
+        out_columns = {
+            name: i
+            for i, (name, __) in enumerate(planned.plan.output_columns())
+        }
+        self._order_keys = (
+            [(out_columns[name], desc) for name, desc in shape.order.keys]
+            if shape.order is not None
+            else None
+        )
+        self._limit = shape.limit.count if shape.limit is not None else None
+        self.output_names = [name for name, __ in planned.plan.output_columns()]
+        self.results: list[list[tuple]] = []
+        self.tuples_processed = 0
+
+    # ------------------------------------------------------------------
+    # per-tuple path
+    # ------------------------------------------------------------------
+    def push(self, alias: str, row: tuple) -> None:
+        """Accept one arriving tuple and advance the query if possible."""
+        self._sides[alias].pending.append(row)
+        self._advance()
+
+    def _advance(self) -> None:
+        """Admit pending tuples up to window boundaries; emit due windows."""
+        while True:
+            for side in self._sides.values():
+                limit = side.admission_limit()
+                while side.admitted < limit and side.pending:
+                    self._admit(side, side.pending.popleft())
+            if not all(side.due() for side in self._sides.values()):
+                return
+            self.results.append(self._emit())
+            for side in self._sides.values():
+                side.emitted += 1
+                if not side.window.is_landmark:
+                    self._expire(side)
+
+    def _admit(self, side: _SideState, row: tuple) -> None:
+        """The volcano per-tuple path: filter, probe, accumulate."""
+        side.admitted += 1
+        self.tuples_processed += 1
+        alias = side.alias
+        rows = {alias: row}
+        qualifies = side.filter_fn is None or bool(side.filter_fn(rows))
+        if not self._is_join:
+            entry = self._single_add(rows) if qualifies else None
+            if not side.window.is_landmark:
+                side.buffer.append(entry)
+            elif self._aggregate is None and entry is not None:
+                side.buffer.append(entry)  # landmark select-only keeps output
+        else:
+            entry = row if qualifies else None
+            if qualifies:
+                self._join_probe(alias, row)
+                key = side.key_fn(rows)
+                side.hash_table.setdefault(key, deque()).append(row)
+            side.buffer.append(entry)
+
+    def _single_add(self, rows: dict) -> Optional[tuple]:
+        if self._aggregate is not None:
+            key = tuple(fn(rows) for fn in self._key_fns)
+            values = [fn(rows) for fn in self._arg_fns]
+            self._accs.add(key, values)
+            return (key, tuple(values))
+        return tuple(fn(rows) for fn in self._item_fns)
+
+    def _join_probe(self, alias: str, row: tuple) -> None:
+        other_alias = (
+            self._right_alias if alias == self._left_alias else self._left_alias
+        )
+        other = self._sides[other_alias]
+        side = self._sides[alias]
+        key = side.key_fn({alias: row})
+        matches = other.hash_table.get(key)
+        if not matches:
+            return
+        for other_row in matches:
+            if alias == self._left_alias:
+                self._pair(row, other_row, retract=False)
+            else:
+                self._pair(other_row, row, retract=False)
+
+    def _pair(self, left_row: tuple, right_row: tuple, retract: bool) -> None:
+        rows = {self._left_alias: left_row, self._right_alias: right_row}
+        if self._residual_fn is not None and not bool(self._residual_fn(rows)):
+            return
+        if self._aggregate is not None:
+            key = tuple(fn(rows) for fn in self._key_fns)
+            values = [fn(rows) for fn in self._arg_fns]
+            if retract:
+                self._accs.retract(key, values)
+            else:
+                self._accs.add(key, values)
+        else:
+            projected = tuple(fn(rows) for fn in self._item_fns)
+            self._pair_counter[projected] += -1 if retract else 1
+            if self._pair_counter[projected] == 0:
+                del self._pair_counter[projected]
+
+    # ------------------------------------------------------------------
+    # emission & expiry
+    # ------------------------------------------------------------------
+    def _expire(self, side: _SideState) -> None:
+        for __ in range(side.window.step):
+            entry = side.buffer.popleft()
+            if entry is None:
+                continue
+            if self._is_join:
+                self._join_expire(side, entry)
+            elif self._aggregate is not None:
+                key, values = entry
+                self._accs.retract(key, list(values))
+            # select-only single stream: dropping from the buffer IS expiry
+
+    def _join_expire(self, side: _SideState, row: tuple) -> None:
+        key = side.key_fn({side.alias: row})
+        bucket = side.hash_table[key]
+        bucket.popleft()  # FIFO expiry matches arrival order
+        if not bucket:
+            del side.hash_table[key]
+        other_alias = (
+            self._right_alias
+            if side.alias == self._left_alias
+            else self._left_alias
+        )
+        other = self._sides[other_alias]
+        matches = other.hash_table.get(key)
+        if not matches:
+            return
+        for other_row in matches:
+            if side.alias == self._left_alias:
+                self._pair(row, other_row, retract=True)
+            else:
+                self._pair(other_row, row, retract=True)
+
+    def _emit(self) -> list[tuple]:
+        if self._aggregate is not None:
+            rows = []
+            for key, values in self._accs.snapshot():
+                rows.append(tuple(key) + tuple(values))
+            if not rows and not self._aggregate.keys and all(
+                func == "count" for func in self._funcs
+            ):
+                rows = [tuple(0 for __ in self._funcs)]
+            if self._having_fn is not None:
+                rows = [row for row in rows if self._having_fn(row)]
+            assert self._project_fns is not None
+            rows = [tuple(fn(row) for fn in self._project_fns) for row in rows]
+        elif self._is_join:
+            rows = [row for row, n in self._pair_counter.items() for __ in range(n)]
+            rows.sort()
+        else:
+            side = next(iter(self._sides.values()))
+            rows = [entry for entry in side.buffer if entry is not None]
+        if self._shape.distinct:
+            rows = sorted(set(rows))
+        if self._order_keys is not None:
+            for index, descending in reversed(self._order_keys):
+                rows.sort(key=lambda row: row[index], reverse=descending)
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        return rows
+
+
+class SystemX:
+    """The specialized engine: streams, queries, per-tuple ingestion."""
+
+    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self._queries: list[SystemXQuery] = []
+        self._routes: dict[str, list[tuple[SystemXQuery, str]]] = {}
+        self._counter = 0
+
+    def create_stream(self, name: str, schema) -> None:
+        """Declare a stream (same Schema type as the kernel catalog)."""
+        self.catalog.create_stream(name, schema)
+        self._routes.setdefault(name, [])
+
+    def submit(self, sql: str, name: Optional[str] = None) -> SystemXQuery:
+        """Register a continuous query built from the shared SQL subset."""
+        self._counter += 1
+        planned = optimize(plan_query(sql, self.catalog))
+        query = SystemXQuery(planned, name or f"xq{self._counter}")
+        self._queries.append(query)
+        for stream in query._shape.streams:
+            self._routes.setdefault(stream.scan.relation, []).append(
+                (query, stream.alias)
+            )
+        return query
+
+    def push(self, stream: str, row: Sequence) -> None:
+        """Ingest one tuple — each registered query processes it in turn."""
+        row = tuple(row)
+        for query, alias in self._routes.get(stream, []):
+            query.push(alias, row)
+
+    def push_many(self, stream: str, rows) -> None:
+        routes = self._routes.get(stream, [])
+        for raw in rows:
+            row = tuple(raw)
+            for query, alias in routes:
+                query.push(alias, row)

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every layer raises a subclass of :class:`ReproError`, so callers can catch
+one base type at the public-API boundary while tests can assert on the
+precise failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KernelError(ReproError):
+    """Error inside the column-store kernel (BATs, algebra, execution)."""
+
+
+class TypeMismatchError(KernelError):
+    """An operator received a BAT of an unsupported or unexpected type."""
+
+
+class AlignmentError(KernelError):
+    """Two BATs that must be head-aligned are not."""
+
+
+class ExecutionError(KernelError):
+    """A physical program failed while being interpreted."""
+
+
+class UnknownInstructionError(ExecutionError):
+    """The interpreter met an opcode it has no implementation for."""
+
+
+class CatalogError(ReproError):
+    """Unknown table/stream/column, or a duplicate registration."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end failures."""
+
+
+class LexerError(SqlError):
+    """The SQL lexer met a character sequence it cannot tokenize."""
+
+
+class ParseError(SqlError):
+    """The SQL parser met an unexpected token."""
+
+
+class BindError(SqlError):
+    """Name resolution failed (unknown column/table/function)."""
+
+
+class PlanError(SqlError):
+    """The logical planner cannot translate a bound query."""
+
+
+class RewriteError(ReproError):
+    """The DataCell incremental rewriter cannot transform a plan."""
+
+
+class UnsupportedQueryError(RewriteError):
+    """The continuous query uses a feature the rewriter does not support."""
+
+
+class SchedulerError(ReproError):
+    """The DataCell scheduler detected an inconsistent factory state."""
+
+
+class BasketError(ReproError):
+    """Illegal basket operation (e.g. appending mismatched columns)."""
+
+
+class StreamError(ReproError):
+    """Receptor/emitter level failure (bad input rows, closed stream)."""
+
+
+class DsmsError(ReproError):
+    """Error inside the specialized tuple-at-a-time engine (SystemX sim)."""
+
+
+class WorkloadError(ReproError):
+    """Workload generator misconfiguration."""

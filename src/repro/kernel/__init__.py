@@ -1,0 +1,19 @@
+"""The column-store DBMS kernel substrate (MonetDB analogue).
+
+Provides BAT storage, the columnar algebra, tables/catalog, and the
+operator-at-a-time execution engine that DataCell builds on.
+"""
+
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT, BATBuilder
+from repro.kernel.storage import Catalog, Schema, StreamDecl, Table
+
+__all__ = [
+    "Atom",
+    "BAT",
+    "BATBuilder",
+    "Catalog",
+    "Schema",
+    "StreamDecl",
+    "Table",
+]

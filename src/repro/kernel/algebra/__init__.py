@@ -1,0 +1,69 @@
+"""Columnar algebra operators of the kernel.
+
+Submodules group the operator families (MonetDB module naming):
+
+* :mod:`repro.kernel.algebra.select` — range/theta selections, candidates
+* :mod:`repro.kernel.algebra.project` — projections (late reconstruction)
+* :mod:`repro.kernel.algebra.join` — equi/semi/anti joins
+* :mod:`repro.kernel.algebra.group` — grouping and distinct
+* :mod:`repro.kernel.algebra.aggregate` — global and grouped aggregates
+* :mod:`repro.kernel.algebra.sort` — ordering and top-N
+* :mod:`repro.kernel.algebra.setops` — concat/pack, slices, unique
+* :mod:`repro.kernel.algebra.calc` — scalar/vector calculator
+"""
+
+from repro.kernel.algebra.aggregate import (
+    subavg,
+    subcount,
+    submax,
+    submin,
+    subsum,
+    total_avg,
+    total_count,
+    total_max,
+    total_min,
+    total_sum,
+)
+from repro.kernel.algebra.calc import arith, compare, divide
+from repro.kernel.algebra.group import Grouping, distinct, group, group_values
+from repro.kernel.algebra.join import antijoin, join, semijoin
+from repro.kernel.algebra.project import head_oids, materialize, projection
+from repro.kernel.algebra.select import mask_select, select, thetaselect
+from repro.kernel.algebra.setops import append, concat, slice_bat, unique
+from repro.kernel.algebra.sort import firstn, sort, sort_refine
+
+__all__ = [
+    "Grouping",
+    "antijoin",
+    "append",
+    "arith",
+    "compare",
+    "concat",
+    "distinct",
+    "divide",
+    "firstn",
+    "group",
+    "group_values",
+    "head_oids",
+    "join",
+    "mask_select",
+    "materialize",
+    "projection",
+    "select",
+    "semijoin",
+    "slice_bat",
+    "sort",
+    "sort_refine",
+    "subavg",
+    "subcount",
+    "submax",
+    "submin",
+    "subsum",
+    "thetaselect",
+    "total_avg",
+    "total_count",
+    "total_max",
+    "total_min",
+    "total_sum",
+    "unique",
+]

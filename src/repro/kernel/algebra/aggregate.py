@@ -1,0 +1,137 @@
+"""Aggregation operators: global scalars and grouped ("sub") variants.
+
+Global aggregates return Python/numpy scalars (``None`` for the empty-input
+cases where SQL mandates NULL).  Grouped variants take a value column plus
+the group-id column from :mod:`repro.kernel.algebra.group` and return one
+row per group, in group order, using ``np.add.at``-style scatter reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError, TypeMismatchError
+from repro.kernel.atoms import Atom, is_numeric
+from repro.kernel.bat import BAT
+
+
+def _require_numeric(b: BAT, op: str) -> None:
+    if not is_numeric(b.atom):
+        raise TypeMismatchError(f"{op} needs a numeric column, got {b.atom}")
+
+
+# ----------------------------------------------------------------------
+# global aggregates
+# ----------------------------------------------------------------------
+def total_sum(b: BAT):
+    """SUM over the whole column; None on empty input (SQL NULL)."""
+    _require_numeric(b, "sum")
+    if b.is_empty():
+        return None
+    result = b.tail.sum()
+    return float(result) if b.atom == Atom.FLT else int(result)
+
+
+def total_count(b: BAT) -> int:
+    """COUNT(*) over the whole column."""
+    return len(b)
+
+
+def total_min(b: BAT):
+    """MIN over the whole column; None on empty input."""
+    if b.is_empty():
+        return None
+    result = b.tail.min()
+    return result.item() if isinstance(result, np.generic) else result
+
+
+def total_max(b: BAT):
+    """MAX over the whole column; None on empty input."""
+    if b.is_empty():
+        return None
+    result = b.tail.max()
+    return result.item() if isinstance(result, np.generic) else result
+
+
+def total_avg(b: BAT):
+    """AVG over the whole column; None on empty input."""
+    _require_numeric(b, "avg")
+    if b.is_empty():
+        return None
+    return float(b.tail.mean())
+
+
+# ----------------------------------------------------------------------
+# grouped aggregates
+# ----------------------------------------------------------------------
+def _scatter_reduce(values: np.ndarray, gids: np.ndarray, ngroups: int, ufunc, init):
+    out = np.full(ngroups, init, dtype=values.dtype if values.dtype.kind != "b" else np.int64)
+    ufunc.at(out, gids, values)
+    return out
+
+
+def subsum(values: BAT, gids: BAT, ngroups: int) -> BAT:
+    """Per-group SUM; groups with no rows get 0 (callers mask via subcount)."""
+    _require_numeric(values, "subsum")
+    if len(values) != len(gids):
+        raise KernelError("subsum: values and gids must be aligned")
+    out = np.zeros(ngroups, dtype=values.tail.dtype)
+    np.add.at(out, gids.tail, values.tail)
+    return BAT(out, values.atom)
+
+
+def subcount(values: BAT, gids: BAT, ngroups: int) -> BAT:
+    """Per-group COUNT."""
+    if len(values) != len(gids):
+        raise KernelError("subcount: values and gids must be aligned")
+    out = np.bincount(gids.tail, minlength=ngroups).astype(np.int64)
+    return BAT(out, Atom.INT)
+
+
+def submin(values: BAT, gids: BAT, ngroups: int) -> BAT:
+    """Per-group MIN (undefined for empty groups — callers mask)."""
+    if len(values) != len(gids):
+        raise KernelError("submin: values and gids must be aligned")
+    if values.atom == Atom.STR:
+        out = np.empty(ngroups, dtype=object)
+        seen = np.zeros(ngroups, dtype=bool)
+        for gid, value in zip(gids.tail, values.tail):
+            if not seen[gid] or value < out[gid]:
+                out[gid] = value
+                seen[gid] = True
+        return BAT(out, Atom.STR)
+    if values.atom == Atom.FLT:
+        init = np.inf
+    else:
+        init = np.iinfo(np.int64).max
+    out = _scatter_reduce(values.tail, gids.tail, ngroups, np.minimum, init)
+    return BAT(out, values.atom)
+
+
+def submax(values: BAT, gids: BAT, ngroups: int) -> BAT:
+    """Per-group MAX (undefined for empty groups — callers mask)."""
+    if len(values) != len(gids):
+        raise KernelError("submax: values and gids must be aligned")
+    if values.atom == Atom.STR:
+        out = np.empty(ngroups, dtype=object)
+        seen = np.zeros(ngroups, dtype=bool)
+        for gid, value in zip(gids.tail, values.tail):
+            if not seen[gid] or value > out[gid]:
+                out[gid] = value
+                seen[gid] = True
+        return BAT(out, Atom.STR)
+    if values.atom == Atom.FLT:
+        init = -np.inf
+    else:
+        init = np.iinfo(np.int64).min
+    out = _scatter_reduce(values.tail, gids.tail, ngroups, np.maximum, init)
+    return BAT(out, values.atom)
+
+
+def subavg(values: BAT, gids: BAT, ngroups: int) -> BAT:
+    """Per-group AVG as FLT (0-row groups yield NaN)."""
+    sums = subsum(values, gids, ngroups).tail.astype(np.float64)
+    counts = subcount(values, gids, ngroups).tail.astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = sums / counts
+    return BAT(out, Atom.FLT)

@@ -1,0 +1,130 @@
+"""Scalar/vector calculator operators (MonetDB's ``batcalc`` module).
+
+Binary operators accept any mix of BAT and scalar operands; BAT operands
+must be head-aligned.  Comparisons yield BIT BATs that selections consume
+via :func:`repro.kernel.algebra.select.mask_select`.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+
+from repro.errors import KernelError, TypeMismatchError
+from repro.kernel.atoms import Atom, division_result, promote
+from repro.kernel.bat import BAT, require_aligned
+
+_ARITH = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "%": operator.mod,
+}
+
+_COMPARE = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _operand_info(value):
+    if isinstance(value, BAT):
+        return value.tail, value.atom, value
+    from repro.kernel.atoms import atom_of_python
+
+    return value, atom_of_python(value), None
+
+
+def _align(left, right) -> tuple:
+    ltail, latom, lbat = _operand_info(left)
+    rtail, ratom, rbat = _operand_info(right)
+    if lbat is not None and rbat is not None:
+        require_aligned(lbat, rbat)
+    bat = lbat if lbat is not None else rbat
+    if bat is None:
+        raise KernelError("calc needs at least one BAT operand")
+    return ltail, latom, rtail, ratom, bat.hseq
+
+
+def arith(op: str, left, right) -> BAT:
+    """Element-wise ``left <op> right`` for ``+ - * %``."""
+    try:
+        fn = _ARITH[op]
+    except KeyError:
+        raise KernelError(f"unknown arithmetic operator {op!r}") from None
+    ltail, latom, rtail, ratom, hseq = _align(left, right)
+    atom = promote(latom, ratom)
+    result = fn(ltail, rtail)
+    return BAT.from_array(np.asarray(result), atom, hseq)
+
+
+def divide(left, right) -> BAT:
+    """SQL division: always FLT, divide-by-zero yields NaN (NULL)."""
+    ltail, latom, rtail, ratom, hseq = _align(left, right)
+    atom = division_result(latom, ratom)
+    denominator = np.asarray(rtail, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.asarray(ltail, dtype=np.float64) / denominator
+    # SQL: x / 0 is NULL, represented in-band as NaN (never +/-inf).
+    result = np.where(denominator == 0.0, np.nan, result)
+    return BAT.from_array(np.atleast_1d(result), atom, hseq)
+
+
+def compare(op: str, left, right) -> BAT:
+    """Element-wise comparison producing a BIT BAT."""
+    try:
+        fn = _COMPARE[op]
+    except KeyError:
+        raise KernelError(f"unknown comparison operator {op!r}") from None
+    ltail, latom, rtail, ratom, hseq = _align(left, right)
+    if (latom == Atom.STR) != (ratom == Atom.STR):
+        raise TypeMismatchError(f"cannot compare {latom} with {ratom}")
+    result = np.asarray(fn(ltail, rtail), dtype=bool)
+    return BAT(np.atleast_1d(result), Atom.BIT, hseq)
+
+
+def logic_and(left: BAT, right: BAT) -> BAT:
+    """Element-wise AND of two BIT BATs."""
+    require_aligned(left, right)
+    if left.atom != Atom.BIT or right.atom != Atom.BIT:
+        raise TypeMismatchError("logic_and expects BIT BATs")
+    return BAT(left.tail & right.tail, Atom.BIT, left.hseq)
+
+
+def logic_or(left: BAT, right: BAT) -> BAT:
+    """Element-wise OR of two BIT BATs."""
+    require_aligned(left, right)
+    if left.atom != Atom.BIT or right.atom != Atom.BIT:
+        raise TypeMismatchError("logic_or expects BIT BATs")
+    return BAT(left.tail | right.tail, Atom.BIT, left.hseq)
+
+
+def logic_not(b: BAT) -> BAT:
+    """Element-wise NOT of a BIT BAT."""
+    if b.atom != Atom.BIT:
+        raise TypeMismatchError("logic_not expects a BIT BAT")
+    return BAT(~b.tail, Atom.BIT, b.hseq)
+
+
+def negate(b: BAT) -> BAT:
+    """Unary minus."""
+    if b.atom not in (Atom.INT, Atom.FLT):
+        raise TypeMismatchError(f"cannot negate {b.atom}")
+    return BAT(-b.tail, b.atom, b.hseq)
+
+
+def constant_column(value, atom: Atom, count: int, hseq: int = 0) -> BAT:
+    """A column of ``count`` copies of ``value`` (literal projection)."""
+    from repro.kernel.atoms import numpy_dtype
+
+    if atom == Atom.STR:
+        arr = np.empty(count, dtype=object)
+        arr[:] = value
+    else:
+        arr = np.full(count, value, dtype=numpy_dtype(atom))
+    return BAT(arr, atom, hseq)

@@ -1,0 +1,70 @@
+"""Join operators.
+
+The kernel implements a vectorized equi-join: the right side is sorted once,
+then every left value locates its run of matches by binary search and the
+(left, right) oid pairs are expanded with ``np.repeat`` arithmetic — the
+numpy equivalent of a hash join's build/probe with full many-to-many output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+from repro.kernel.atoms import Atom, is_numeric
+from repro.kernel.bat import BAT
+
+
+def _match_pairs(left: np.ndarray, right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All (left_pos, right_pos) pairs with equal values."""
+    if len(left) == 0 or len(right) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(right, kind="stable")
+    sorted_right = right[order]
+    lo = np.searchsorted(sorted_right, left, side="left")
+    hi = np.searchsorted(sorted_right, left, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_pos = np.repeat(np.arange(len(left), dtype=np.int64), counts)
+    # For left row i, its matches live at sorted positions lo[i] .. hi[i)-1.
+    starts = np.repeat(counts.cumsum() - counts, counts)
+    within = np.arange(total, dtype=np.int64) - starts
+    right_sorted_pos = np.repeat(lo, counts) + within
+    right_pos = order[right_sorted_pos]
+    return left_pos, right_pos
+
+
+def join(left: BAT, right: BAT) -> tuple[BAT, BAT]:
+    """Inner equi-join on tail values.
+
+    Returns two head-aligned OID BATs ``(loids, roids)``: row ``k`` of the
+    result pairs left oid ``loids[k]`` with right oid ``roids[k]``.
+    """
+    if left.atom != right.atom and not (is_numeric(left.atom) and is_numeric(right.atom)):
+        raise TypeMismatchError(f"join atoms differ: {left.atom} vs {right.atom}")
+    left_pos, right_pos = _match_pairs(left.tail, right.tail)
+    loids = BAT(left_pos + left.hseq, Atom.OID)
+    roids = BAT(right_pos + right.hseq, Atom.OID)
+    return loids, roids
+
+
+def semijoin(left: BAT, right: BAT) -> BAT:
+    """Left oids having at least one match on the right (EXISTS)."""
+    if len(left) == 0 or len(right) == 0:
+        return BAT.empty(Atom.OID)
+    mask = np.isin(left.tail, right.tail)
+    return BAT(np.flatnonzero(mask).astype(np.int64) + left.hseq, Atom.OID)
+
+
+def antijoin(left: BAT, right: BAT) -> BAT:
+    """Left oids having no match on the right (NOT EXISTS)."""
+    if len(left) == 0:
+        return BAT.empty(Atom.OID)
+    if len(right) == 0:
+        return BAT(np.arange(left.hseq, left.hseq + len(left), dtype=np.int64), Atom.OID)
+    mask = ~np.isin(left.tail, right.tail)
+    return BAT(np.flatnonzero(mask).astype(np.int64) + left.hseq, Atom.OID)

@@ -1,0 +1,44 @@
+"""Ordering operators: sort, order-permutation, top-N."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+
+
+def sort(b: BAT, descending: bool = False) -> tuple[BAT, BAT]:
+    """Stable sort of the tail values.
+
+    Returns ``(sorted_values, order)`` where ``order`` is an OID BAT holding
+    the original head oids in output order — projecting other aligned
+    columns through ``order`` applies the same permutation (ORDER BY over a
+    multi-column result).
+    """
+    order = np.argsort(b.tail, kind="stable")
+    if descending:
+        order = order[::-1].copy()
+    values = BAT(b.tail[order], b.atom)
+    oids = BAT(order.astype(np.int64) + b.hseq, Atom.OID)
+    return values, oids
+
+
+def sort_refine(order: BAT, b: BAT, descending: bool = False) -> BAT:
+    """Refine an existing order by a further (lower-priority) key.
+
+    Used for multi-key ORDER BY: sort by the last key first, then refine by
+    earlier keys with a stable sort.
+    """
+    positions = b.positions_of(order.tail)
+    key = b.tail[positions]
+    refine = np.argsort(key, kind="stable")
+    if descending:
+        refine = refine[::-1].copy()
+    return BAT(order.tail[refine], Atom.OID)
+
+
+def firstn(b: BAT, n: int, descending: bool = False) -> BAT:
+    """Oids of the first ``n`` rows in sort order (LIMIT after ORDER BY)."""
+    __, order = sort(b, descending=descending)
+    return BAT(order.tail[:n].copy(), Atom.OID)

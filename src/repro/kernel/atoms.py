@@ -1,0 +1,120 @@
+"""Atom (scalar type) system of the column-store kernel.
+
+MonetDB calls its scalar types *atoms*.  We support the subset needed by the
+DataCell reproduction: 64-bit integers, double-precision floats, booleans,
+object identifiers (oids), strings, and microsecond timestamps.
+
+Each atom maps to a numpy dtype used for the tail array of a BAT.  The
+module also centralizes type promotion rules used by the calc operators and
+by the SQL binder.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class Atom(enum.Enum):
+    """Scalar types storable in a BAT tail."""
+
+    OID = "oid"
+    INT = "int"
+    FLT = "flt"
+    BIT = "bit"
+    STR = "str"
+    TIMESTAMP = "timestamp"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Atom.{self.name}"
+
+
+_NUMPY_DTYPES = {
+    Atom.OID: np.dtype(np.int64),
+    Atom.INT: np.dtype(np.int64),
+    Atom.FLT: np.dtype(np.float64),
+    Atom.BIT: np.dtype(np.bool_),
+    Atom.STR: np.dtype(object),
+    Atom.TIMESTAMP: np.dtype(np.int64),
+}
+
+_NULL_VALUES = {
+    Atom.OID: np.int64(-1),
+    Atom.INT: np.int64(np.iinfo(np.int64).min),
+    Atom.FLT: np.float64(np.nan),
+    Atom.BIT: np.False_,
+    Atom.STR: None,
+    Atom.TIMESTAMP: np.int64(np.iinfo(np.int64).min),
+}
+
+_NUMERIC_ATOMS = frozenset({Atom.INT, Atom.FLT, Atom.OID, Atom.TIMESTAMP})
+
+
+def numpy_dtype(atom: Atom) -> np.dtype:
+    """Return the numpy dtype backing ``atom``."""
+    return _NUMPY_DTYPES[atom]
+
+
+def null_value(atom: Atom):
+    """Return the in-band null sentinel for ``atom``."""
+    return _NULL_VALUES[atom]
+
+
+def is_numeric(atom: Atom) -> bool:
+    """True if ``atom`` supports arithmetic."""
+    return atom in _NUMERIC_ATOMS
+
+
+def atom_of_dtype(dtype: np.dtype) -> Atom:
+    """Map a numpy dtype back to the atom it represents.
+
+    Integer dtypes map to :data:`Atom.INT`; the OID/TIMESTAMP distinction
+    only exists at the BAT level where it is carried explicitly.
+    """
+    kind = np.dtype(dtype).kind
+    if kind in "iu":
+        return Atom.INT
+    if kind == "f":
+        return Atom.FLT
+    if kind == "b":
+        return Atom.BIT
+    if kind in "OU":
+        return Atom.STR
+    raise TypeMismatchError(f"no atom for numpy dtype {dtype!r}")
+
+
+def atom_of_python(value) -> Atom:
+    """Infer the atom of a Python scalar (used for SQL literals)."""
+    if isinstance(value, bool):
+        return Atom.BIT
+    if isinstance(value, (int, np.integer)):
+        return Atom.INT
+    if isinstance(value, (float, np.floating)):
+        return Atom.FLT
+    if isinstance(value, str):
+        return Atom.STR
+    raise TypeMismatchError(f"no atom for python value {value!r}")
+
+
+def promote(left: Atom, right: Atom) -> Atom:
+    """Type promotion for binary arithmetic/comparison operands.
+
+    INT op FLT widens to FLT; TIMESTAMP/OID arithmetic degrades to INT.
+    """
+    if left == right:
+        return left
+    if not (is_numeric(left) and is_numeric(right)):
+        raise TypeMismatchError(f"cannot promote {left} with {right}")
+    if Atom.FLT in (left, right):
+        return Atom.FLT
+    return Atom.INT
+
+
+def division_result(left: Atom, right: Atom) -> Atom:
+    """SQL-style division always yields FLT for numeric inputs."""
+    if not (is_numeric(left) and is_numeric(right)):
+        raise TypeMismatchError(f"cannot divide {left} by {right}")
+    return Atom.FLT

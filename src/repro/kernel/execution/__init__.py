@@ -1,0 +1,28 @@
+"""Operator-at-a-time execution: programs, interpreter, profiler."""
+
+from repro.kernel.execution.interpreter import Interpreter, known_opcodes
+from repro.kernel.execution.profiler import Profiler
+from repro.kernel.execution.program import (
+    TAG_ADMIN,
+    TAG_MAIN,
+    TAG_MERGE,
+    Instr,
+    Lit,
+    Program,
+    Ref,
+    SlotNames,
+)
+
+__all__ = [
+    "Instr",
+    "Interpreter",
+    "Lit",
+    "Profiler",
+    "Program",
+    "Ref",
+    "SlotNames",
+    "TAG_ADMIN",
+    "TAG_MAIN",
+    "TAG_MERGE",
+    "known_opcodes",
+]

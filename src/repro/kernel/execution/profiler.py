@@ -1,0 +1,52 @@
+"""Per-instruction profiler.
+
+DataCell's Figure 7 splits a sliding step's cost into the *main plan*
+(original query operators) and the *merge* machinery (concat, compensation,
+transition administration).  The interpreter tags every executed
+instruction; this profiler accumulates wall time per tag and per opcode so
+benchmarks report measured — not modelled — breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Profiler:
+    """Accumulates instruction timings by cost tag and opcode."""
+
+    by_tag: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    by_opcode: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, tag: str, opcode: str, seconds: float) -> None:
+        self.by_tag[tag] += seconds
+        self.by_opcode[opcode] += seconds
+        self.calls[opcode] += 1
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_tag.values())
+
+    def tag_seconds(self, tag: str) -> float:
+        return self.by_tag.get(tag, 0.0)
+
+    def merge_from(self, other: "Profiler") -> None:
+        """Fold another profiler's counters into this one."""
+        for tag, seconds in other.by_tag.items():
+            self.by_tag[tag] += seconds
+        for opcode, seconds in other.by_opcode.items():
+            self.by_opcode[opcode] += seconds
+        for opcode, count in other.calls.items():
+            self.calls[opcode] += count
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict copy of the per-tag totals."""
+        return dict(self.by_tag)
+
+    def reset(self) -> None:
+        self.by_tag.clear()
+        self.by_opcode.clear()
+        self.calls.clear()

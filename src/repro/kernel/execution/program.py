@@ -1,0 +1,130 @@
+"""MAL-like physical programs.
+
+A :class:`Program` is a straight-line sequence of instructions over named
+slots — the reproduction's analogue of a MonetDB MAL plan.  Operands are
+either slot references (:class:`Ref`) or literals (:class:`Lit`).  Each
+instruction carries a *tag* classifying it for the profiler: DataCell's
+Figure 7 cost breakdown distinguishes ``main`` (original plan work) from
+``merge`` (incremental bookkeeping: concat, compensation, transitions).
+
+Programs are deliberately *data*, not closures: the DataCell rewriter builds
+and rearranges them, the interpreter executes them, and tests can inspect
+them instruction by instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+TAG_MAIN = "main"
+TAG_MERGE = "merge"
+TAG_ADMIN = "admin"
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Operand referring to a slot in the execution environment."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit:
+    """Literal operand embedded in the program."""
+
+    value: object
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+Operand = Ref | Lit
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction: ``outs := opcode(args)``."""
+
+    opcode: str
+    args: tuple[Operand, ...]
+    outs: tuple[str, ...]
+    tag: str = TAG_MAIN
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        outs = ", ".join(self.outs)
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{outs} := {self.opcode}({args})  #{self.tag}"
+
+
+@dataclass
+class Program:
+    """A straight-line instruction sequence with declared inputs/outputs."""
+
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    instructions: list[Instr] = field(default_factory=list)
+
+    def emit(
+        self,
+        opcode: str,
+        args: Sequence[Operand],
+        outs: Sequence[str],
+        tag: str = TAG_MAIN,
+    ) -> Instr:
+        """Append an instruction and return it."""
+        instr = Instr(opcode, tuple(args), tuple(outs), tag)
+        self.instructions.append(instr)
+        return instr
+
+    def extend(self, other: "Program") -> None:
+        """Splice another program's instructions onto this one."""
+        self.instructions.extend(other.instructions)
+
+    def slots_written(self) -> set[str]:
+        return {out for instr in self.instructions for out in instr.outs}
+
+    def slots_read(self) -> set[str]:
+        return {
+            arg.name
+            for instr in self.instructions
+            for arg in instr.args
+            if isinstance(arg, Ref)
+        }
+
+    def validate(self) -> None:
+        """Check def-before-use; raises ValueError on dangling refs."""
+        defined = set(self.inputs)
+        for instr in self.instructions:
+            for arg in instr.args:
+                if isinstance(arg, Ref) and arg.name not in defined:
+                    raise ValueError(
+                        f"instruction {instr!r} reads undefined slot {arg.name!r}"
+                    )
+            defined.update(instr.outs)
+        for out in self.outputs:
+            if out not in defined:
+                raise ValueError(f"program output {out!r} is never defined")
+
+    def pretty(self) -> str:
+        """Human-readable listing (used by tests and EXPLAIN)."""
+        lines = [f"-- inputs: {', '.join(self.inputs) or '(none)'}"]
+        lines += [repr(instr) for instr in self.instructions]
+        lines.append(f"-- outputs: {', '.join(self.outputs) or '(none)'}")
+        return "\n".join(lines)
+
+
+class SlotNames:
+    """Generator of unique slot names (``t0, t1, ...`` with a prefix)."""
+
+    def __init__(self, prefix: str = "t") -> None:
+        self._prefix = prefix
+        self._next = 0
+
+    def fresh(self, hint: str = "") -> str:
+        name = f"{self._prefix}{self._next}" + (f"_{hint}" if hint else "")
+        self._next += 1
+        return name

@@ -1,0 +1,25 @@
+"""SQL front-end: lexer, parser, binder, planner, optimizer, compiler."""
+
+from repro.sql.ast import Query, WindowClause
+from repro.sql.binder import Binding, bind
+from repro.sql.logical import pretty_plan
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse, parse_expression
+from repro.sql.physical import CompiledQuery, compile_full
+from repro.sql.planner import PlannedQuery, Planner, plan_query
+
+__all__ = [
+    "Binding",
+    "CompiledQuery",
+    "PlannedQuery",
+    "Planner",
+    "Query",
+    "WindowClause",
+    "bind",
+    "compile_full",
+    "optimize",
+    "parse",
+    "parse_expression",
+    "plan_query",
+    "pretty_plan",
+]

@@ -1,0 +1,118 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token list the recursive-descent parser consumes.  Keywords
+are case-insensitive; identifiers preserve case but are matched
+case-insensitively by the binder (lowered at parse time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "group", "by", "having", "order", "limit",
+        "and", "or", "not", "as", "asc", "desc", "distinct", "range", "slide",
+        "landmark", "true", "false", "null", "seconds", "minutes", "hours",
+        "milliseconds",
+    }
+)
+
+# multi-char operators first so maximal munch works
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = {"(": "lparen", ")": "rparen", ",": "comma", "[": "lbracket",
+          "]": "rbracket", ".": "dot", ";": "semicolon"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | op | punct | eof
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens, ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i].lower()
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Leave a trailing qualifier dot (e.g. "1.x") alone; the
+                    # number grammar only eats ``digit . digit``.
+                    if i + 1 < n and sql[i + 1].isdigit():
+                        seen_dot = True
+                        i += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    sql[i + 1].isdigit() or sql[i + 1] in "+-"
+                ):
+                    seen_exp = True
+                    i += 2 if sql[i + 1] in "+-" else 1
+                else:
+                    break
+            tokens.append(Token("number", sql[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chars: list[str] = []
+            while i < n:
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":  # escaped quote
+                        chars.append("'")
+                        i += 2
+                        continue
+                    break
+                chars.append(sql[i])
+                i += 1
+            if i >= n:
+                raise LexerError(f"unterminated string literal at {start}")
+            i += 1  # closing quote
+            tokens.append(Token("string", "".join(chars), start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

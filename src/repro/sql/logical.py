@@ -1,0 +1,223 @@
+"""Logical query plans.
+
+The planner lowers a bound AST into a small tree of logical operators; the
+optimizer rewrites that tree; the physical compiler (and the DataCell
+incremental rewriter) consume it.  Plans are deliberately canonical:
+
+    Limit(Order(Distinct(Project(Filter[having](Aggregate(
+        Filter*(Join(Filter*(Scan), Filter*(Scan)) | Scan)))))))
+
+with every layer optional except Project and the Scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.atoms import Atom
+from repro.sql.ast import ColumnRef, Expr, WindowClause
+
+
+@dataclass
+class LogicalNode:
+    """Base class; ``output_columns`` lists (name, atom) of the node output."""
+
+    def output_columns(self) -> list[tuple[str, Atom]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def children(self) -> list["LogicalNode"]:
+        return []
+
+
+@dataclass
+class LScan(LogicalNode):
+    """Leaf: a base table or a declared stream.
+
+    Column output is the full relation schema; the optimizer's projection
+    pruning narrows ``needed`` so baskets only snapshot referenced columns.
+    """
+
+    relation: str
+    alias: str
+    is_stream: bool
+    schema: list[tuple[str, Atom]]
+    window: Optional[WindowClause] = None
+    needed: Optional[list[str]] = None  # set by projection pruning
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        if self.needed is None:
+            return list(self.schema)
+        keep = set(self.needed)
+        return [(name, atom) for name, atom in self.schema if name in keep]
+
+
+@dataclass
+class LFilter(LogicalNode):
+    """Row filter; predicate references the child's columns."""
+
+    child: LogicalNode
+    predicate: Expr
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        return self.child.output_columns()
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LJoin(LogicalNode):
+    """2-way equi-join on one column per side.
+
+    Join keys are plain column references (the paper's multi-stream queries
+    join on attributes); the planner rejects computed join keys.
+    """
+
+    left: LogicalNode
+    right: LogicalNode
+    left_key: ColumnRef
+    right_key: ColumnRef
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        return self.left.output_columns() + self.right.output_columns()
+
+    def children(self) -> list[LogicalNode]:
+        return [self.left, self.right]
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate computation: ``func(arg)`` named ``out``."""
+
+    func: str  # sum | count | min | max | avg
+    arg: Optional[Expr]  # None for count(*)
+    out: str
+
+
+@dataclass
+class LAggregate(LogicalNode):
+    """Grouped or global aggregation.
+
+    Output columns: ``key_0..key_{k-1}`` then each ``AggSpec.out``.
+    """
+
+    child: LogicalNode
+    keys: list[Expr]
+    key_atoms: list[Atom]
+    aggs: list[AggSpec]
+    agg_atoms: list[Atom]
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        cols = [(f"key_{i}", atom) for i, atom in enumerate(self.key_atoms)]
+        cols += [(spec.out, atom) for spec, atom in zip(self.aggs, self.agg_atoms)]
+        return cols
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LProject(LogicalNode):
+    """Final projection: named expressions over the child's columns."""
+
+    child: LogicalNode
+    items: list[tuple[Expr, str]]
+    atoms: list[Atom]
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        return [(name, atom) for (__, name), atom in zip(self.items, self.atoms)]
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LDistinct(LogicalNode):
+    child: LogicalNode
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        return self.child.output_columns()
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LOrder(LogicalNode):
+    """Order by output columns of the child (name, descending)."""
+
+    child: LogicalNode
+    keys: list[tuple[str, bool]]
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        return self.child.output_columns()
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+@dataclass
+class LLimit(LogicalNode):
+    child: LogicalNode
+    count: int
+
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        return self.child.output_columns()
+
+    def children(self) -> list[LogicalNode]:
+        return [self.child]
+
+
+# ----------------------------------------------------------------------
+# traversal helpers
+# ----------------------------------------------------------------------
+def walk_plan(node: LogicalNode):
+    """Yield every node of the plan, pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk_plan(child)
+
+
+def find_scans(node: LogicalNode) -> list[LScan]:
+    """All leaf scans, left-to-right."""
+    return [n for n in walk_plan(node) if isinstance(n, LScan)]
+
+
+def stream_scans(node: LogicalNode) -> list[LScan]:
+    """Leaf scans over declared streams."""
+    return [scan for scan in find_scans(node) if scan.is_stream]
+
+
+def pretty_plan(node: LogicalNode, indent: int = 0) -> str:
+    """Indented plan listing for EXPLAIN output and test goldens."""
+    pad = "  " * indent
+    if isinstance(node, LScan):
+        kind = "stream" if node.is_stream else "table"
+        window = f" window={node.window}" if node.window else ""
+        cols = ",".join(name for name, __ in node.output_columns())
+        line = f"{pad}Scan[{kind}] {node.relation} as {node.alias} ({cols}){window}"
+        return line
+    if isinstance(node, LFilter):
+        head = f"{pad}Filter {node.predicate}"
+    elif isinstance(node, LJoin):
+        head = f"{pad}Join {node.left_key} = {node.right_key}"
+    elif isinstance(node, LAggregate):
+        keys = ", ".join(str(k) for k in node.keys) or "(global)"
+        aggs = ", ".join(f"{a.func}({a.arg if a.arg else '*'}) as {a.out}" for a in node.aggs)
+        head = f"{pad}Aggregate keys=[{keys}] aggs=[{aggs}]"
+    elif isinstance(node, LProject):
+        items = ", ".join(f"{expr} as {name}" for expr, name in node.items)
+        head = f"{pad}Project {items}"
+    elif isinstance(node, LDistinct):
+        head = f"{pad}Distinct"
+    elif isinstance(node, LOrder):
+        keys = ", ".join(f"{name}{' desc' if desc else ''}" for name, desc in node.keys)
+        head = f"{pad}Order {keys}"
+    elif isinstance(node, LLimit):
+        head = f"{pad}Limit {node.count}"
+    else:  # pragma: no cover - defensive
+        head = f"{pad}{type(node).__name__}"
+    parts = [head]
+    parts += [pretty_plan(child, indent + 1) for child in node.children()]
+    return "\n".join(parts)

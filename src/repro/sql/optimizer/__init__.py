@@ -1,0 +1,28 @@
+"""Rule driver for the logical optimizer."""
+
+from repro.sql.optimizer.rules import (
+    fold_constants,
+    fold_plan_constants,
+    fuse_filters,
+    prune_projections,
+)
+from repro.sql.planner import PlannedQuery
+
+
+def optimize(planned: PlannedQuery) -> PlannedQuery:
+    """Run the rule pipeline over a planned query (mutates the plan)."""
+    plan = planned.plan
+    plan = fold_plan_constants(plan)
+    plan = fuse_filters(plan)
+    plan = prune_projections(plan, planned.binding)
+    planned.plan = plan
+    return planned
+
+
+__all__ = [
+    "fold_constants",
+    "fold_plan_constants",
+    "fuse_filters",
+    "optimize",
+    "prune_projections",
+]

@@ -1,0 +1,145 @@
+"""Rule-based logical optimizations.
+
+DataCell deliberately reuses the DBMS optimizer output (paper §3, "Plan
+Rewriting" takes *optimized* plans as input).  The rules here are the
+classical algebraic ones the reproduction needs:
+
+* constant folding inside predicates and projections,
+* filter fusion (adjacent filters AND-ed together),
+* projection pruning (scans only materialize referenced columns).
+
+Predicate pushdown happens structurally in the planner (conjuncts are
+classified while building the plan), so no separate rule is needed.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Optional
+
+from repro.sql.ast import BinOp, ColumnRef, Expr, FuncCall, Literal, UnaryOp, walk
+from repro.sql.binder import Binding
+from repro.sql.logical import (
+    LAggregate,
+    LDistinct,
+    LFilter,
+    LJoin,
+    LLimit,
+    LOrder,
+    LProject,
+    LScan,
+    LogicalNode,
+    find_scans,
+)
+
+_FOLDABLE = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+}
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate literal-only subtrees (``2*10`` → ``20``)."""
+    if isinstance(expr, BinOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            fn = _FOLDABLE.get(expr.op)
+            if fn is not None:
+                try:
+                    return Literal(fn(left.value, right.value))
+                except ZeroDivisionError:
+                    pass
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = fold_constants(expr.operand)
+        if isinstance(operand, Literal):
+            if expr.op == "-" and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            if expr.op == "not" and isinstance(operand.value, bool):
+                return Literal(not operand.value)
+        return UnaryOp(expr.op, operand)
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(fold_constants(a) for a in expr.args), expr.star)
+    return expr
+
+
+def fold_plan_constants(node: LogicalNode) -> LogicalNode:
+    """Apply constant folding to every expression in the plan, in place."""
+    if isinstance(node, LFilter):
+        node.predicate = fold_constants(node.predicate)
+    elif isinstance(node, LAggregate):
+        node.keys = [fold_constants(k) for k in node.keys]
+        node.aggs = [
+            type(a)(a.func, fold_constants(a.arg) if a.arg is not None else None, a.out)
+            for a in node.aggs
+        ]
+    elif isinstance(node, LProject):
+        node.items = [(fold_constants(e), name) for e, name in node.items]
+    for child in node.children():
+        fold_plan_constants(child)
+    return node
+
+
+def fuse_filters(node: LogicalNode) -> LogicalNode:
+    """Collapse ``Filter(Filter(x))`` into a single conjunctive filter."""
+    if isinstance(node, LFilter) and isinstance(node.child, LFilter):
+        inner = node.child
+        node.predicate = BinOp("and", inner.predicate, node.predicate)
+        node.child = inner.child
+        return fuse_filters(node)
+    for attr in ("child", "left", "right"):
+        child = getattr(node, attr, None)
+        if isinstance(child, LogicalNode):
+            setattr(node, attr, fuse_filters(child))
+    return node
+
+
+def prune_projections(node: LogicalNode, binding: Binding) -> LogicalNode:
+    """Record, per scan, the set of columns the plan actually touches."""
+    needed: dict[str, set[str]] = {}
+
+    def note(expr: Optional[Expr]) -> None:
+        if expr is None:
+            return
+        for sub in walk(expr):
+            if isinstance(sub, ColumnRef):
+                try:
+                    bound = binding.resolve(sub)
+                except Exception:
+                    continue  # synthetic post-aggregation columns
+                needed.setdefault(bound.alias, set()).add(bound.column)
+
+    def visit(n: LogicalNode) -> None:
+        if isinstance(n, LFilter):
+            note(n.predicate)
+        elif isinstance(n, LJoin):
+            note(n.left_key)
+            note(n.right_key)
+        elif isinstance(n, LAggregate):
+            for key in n.keys:
+                note(key)
+            for agg in n.aggs:
+                note(agg.arg)
+        elif isinstance(n, LProject):
+            for expr, __ in n.items:
+                note(expr)
+        for child in n.children():
+            visit(child)
+
+    visit(node)
+    for scan in find_scans(node):
+        columns = needed.get(scan.alias, set())
+        scan.needed = [name for name, __ in scan.schema if name in columns]
+    return node

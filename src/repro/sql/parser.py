@@ -1,0 +1,297 @@
+"""Recursive-descent parser for the SQL subset (see :mod:`repro.sql.ast`).
+
+Operator precedence (low → high):
+``OR`` < ``AND`` < ``NOT`` < comparisons < ``+ -`` < ``* / %`` < unary minus.
+
+Equality is written ``=`` in SQL and normalized to ``==`` in the AST so the
+rest of the stack shares one spelling with the kernel calculator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    TableRef,
+    UnaryOp,
+    WindowClause,
+)
+from repro.sql.lexer import Token, tokenize
+
+_TIME_UNITS_US = {
+    "milliseconds": 1_000,
+    "seconds": 1_000_000,
+    "minutes": 60 * 1_000_000,
+    "hours": 3600 * 1_000_000,
+}
+
+_COMPARISONS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            got = self._peek()
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r} but found {got.text!r} at position {got.position}"
+            )
+        return token
+
+    # -- statements --------------------------------------------------------
+    def parse_query(self) -> Query:
+        self._expect("keyword", "select")
+        distinct = self._accept("keyword", "distinct") is not None
+        items = self._select_items()
+        self._expect("keyword", "from")
+        tables = self._table_refs()
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._expr()
+        group_by: list[Expr] = []
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by.append(self._expr())
+            while self._accept("punct", ","):
+                group_by.append(self._expr())
+        having = None
+        if self._accept("keyword", "having"):
+            having = self._expr()
+        order_by: list[OrderItem] = []
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by.append(self._order_item())
+            while self._accept("punct", ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept("keyword", "limit"):
+            token = self._expect("number")
+            limit = int(token.text)
+        self._accept("punct", ";")
+        self._expect("eof")
+        return Query(
+            select_items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self._accept("punct", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expr()
+        alias = None
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident").text
+        elif self._check("ident"):
+            alias = self._advance().text
+        return SelectItem(expr, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expr()
+        descending = False
+        if self._accept("keyword", "desc"):
+            descending = True
+        else:
+            self._accept("keyword", "asc")
+        return OrderItem(expr, descending)
+
+    # -- FROM clause -------------------------------------------------------
+    def _table_refs(self) -> list[TableRef]:
+        tables = [self._table_ref()]
+        while self._accept("punct", ","):
+            tables.append(self._table_ref())
+        return tables
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect("ident").text
+        alias = name
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident").text
+        elif self._check("ident"):
+            alias = self._advance().text
+        window = None
+        if self._accept("punct", "["):
+            window = self._window_clause()
+            self._expect("punct", "]")
+        return TableRef(name, alias, window)
+
+    def _window_quantity(self) -> tuple[int, bool]:
+        """A count or a time span; returns (value, time_based)."""
+        token = self._expect("number")
+        value = int(float(token.text))
+        unit = self._peek()
+        if unit.kind == "keyword" and unit.text in _TIME_UNITS_US:
+            self._advance()
+            return value * _TIME_UNITS_US[unit.text], True
+        return value, False
+
+    def _window_clause(self) -> WindowClause:
+        if self._accept("keyword", "landmark"):
+            self._expect("keyword", "slide")
+            step, time_based = self._window_quantity()
+            return WindowClause("landmark", None, step, time_based)
+        self._expect("keyword", "range")
+        size, size_time = self._window_quantity()
+        if self._accept("keyword", "slide"):
+            step, step_time = self._window_quantity()
+            if size_time != step_time:
+                raise ParseError("window RANGE and SLIDE must both be counts or both time")
+            kind = "tumbling" if step == size else "sliding"
+            return WindowClause(kind, size, step, size_time)
+        return WindowClause("tumbling", size, size, size_time)
+
+    # -- expressions ---------------------------------------------------
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept("keyword", "or"):
+            left = BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept("keyword", "and"):
+            left = BinOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept("keyword", "not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "op" and token.text in _COMPARISONS:
+            self._advance()
+            op = {"=": "==", "<>": "!="}.get(token.text, token.text)
+            right = self._additive()
+            return BinOp(op, left, right)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._advance()
+                left = BinOp(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("*", "/", "%"):
+                self._advance()
+                left = BinOp(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self._check("op", "-"):
+            self._advance()
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.text)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._advance()
+            return Literal(token.text == "true")
+        if token.kind == "keyword" and token.text == "null":
+            self._advance()
+            return Literal(None)
+        if self._accept("punct", "("):
+            inner = self._expr()
+            self._expect("punct", ")")
+            return inner
+        if token.kind == "ident":
+            self._advance()
+            name = token.text
+            if self._accept("punct", "("):
+                return self._finish_call(name)
+            if self._accept("punct", "."):
+                column = self._expect("ident").text
+                return ColumnRef(name, column)
+            return ColumnRef(None, name)
+        raise ParseError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+    def _finish_call(self, name: str) -> Expr:
+        if self._check("op", "*"):
+            self._advance()
+            self._expect("punct", ")")
+            return FuncCall(name, (), star=True)
+        args: list[Expr] = []
+        if not self._check("punct", ")"):
+            args.append(self._expr())
+            while self._accept("punct", ","):
+                args.append(self._expr())
+        self._expect("punct", ")")
+        return FuncCall(name, tuple(args))
+
+
+def parse(sql: str) -> Query:
+    """Parse a SELECT statement into a :class:`repro.sql.ast.Query`."""
+    return _Parser(tokenize(sql)).parse_query()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (tests, HAVING strings in the API)."""
+    parser = _Parser(tokenize(text))
+    expr = parser._expr()
+    parser._expect("eof")
+    return expr

@@ -1,0 +1,309 @@
+"""Lowering of bound queries into logical plans.
+
+The planner classifies WHERE conjuncts (per-relation pushdown vs join
+predicate vs post-join residual), builds the canonical plan shape described
+in :mod:`repro.sql.logical`, and rewrites post-aggregation expressions to
+reference the aggregate's synthetic output columns (``key_i`` / ``agg_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PlanError
+from repro.kernel.atoms import Atom
+from repro.kernel.storage import Catalog
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    UnaryOp,
+    contains_aggregate,
+    walk,
+)
+from repro.sql.binder import Binding, bind
+from repro.sql.logical import (
+    AggSpec,
+    LAggregate,
+    LDistinct,
+    LFilter,
+    LJoin,
+    LLimit,
+    LOrder,
+    LProject,
+    LScan,
+    LogicalNode,
+)
+
+
+@dataclass
+class PlannedQuery:
+    """A logical plan plus the binding context it was produced under."""
+
+    plan: LogicalNode
+    binding: Binding
+    query: Query
+
+    @property
+    def output_columns(self) -> list[tuple[str, Atom]]:
+        return self.plan.output_columns()
+
+
+# ----------------------------------------------------------------------
+# expression utilities
+# ----------------------------------------------------------------------
+def split_conjuncts(expr: Optional[Expr]) -> list[Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def and_together(conjuncts: list[Expr]) -> Optional[Expr]:
+    """Rebuild a conjunction (None for the empty list)."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = BinOp("and", result, conjunct)
+    return result
+
+
+def substitute(expr: Expr, mapping: dict[Expr, Expr]) -> Expr:
+    """Structurally replace sub-expressions found in ``mapping``.
+
+    Matching is by structural equality (the AST nodes are frozen
+    dataclasses), applied top-down so whole group-key expressions are
+    replaced before their parts are descended into.
+    """
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute(expr.operand, mapping))
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(substitute(a, mapping) for a in expr.args), expr.star)
+    return expr
+
+
+def _collect_aggregates(exprs: list[Expr]) -> list[FuncCall]:
+    """Distinct aggregate calls appearing in ``exprs``, in first-seen order."""
+    seen: list[FuncCall] = []
+    for expr in exprs:
+        for node in walk(expr):
+            if isinstance(node, FuncCall) and node.is_aggregate and node not in seen:
+                seen.append(node)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+class Planner:
+    """Stateless translator: parsed+bound query → logical plan."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    def plan(self, query: Query) -> PlannedQuery:
+        binding = bind(query, self._catalog)
+        if not query.tables:
+            raise PlanError("FROM clause is required")
+        if len(query.tables) > 2:
+            raise PlanError("at most two relations are supported in FROM")
+
+        pushed: dict[str, list[Expr]] = {t.alias: [] for t in query.tables}
+        join_keys: list[tuple[ColumnRef, ColumnRef]] = []
+        residual: list[Expr] = []
+        for conjunct in split_conjuncts(query.where):
+            aliases = binding.aliases_in(conjunct)
+            if len(aliases) <= 1:
+                target = next(iter(aliases), query.tables[0].alias)
+                pushed[target].append(conjunct)
+                continue
+            key = self._as_join_equality(conjunct, binding)
+            if key is not None and not join_keys:
+                join_keys.append(key)
+            else:
+                residual.append(conjunct)
+
+        sides: dict[str, LogicalNode] = {}
+        for table in query.tables:
+            scan = LScan(
+                relation=table.name,
+                alias=table.alias,
+                is_stream=binding.is_stream(table.alias),
+                schema=binding.schema_of(table.alias),
+                window=table.window,
+            )
+            node: LogicalNode = scan
+            predicate = and_together(pushed[table.alias])
+            if predicate is not None:
+                node = LFilter(node, predicate)
+            sides[table.alias] = node
+
+        if len(query.tables) == 2:
+            if not join_keys:
+                raise PlanError(
+                    "two-relation queries need an equi-join predicate in WHERE"
+                )
+            left_alias = query.tables[0].alias
+            left_key, right_key = join_keys[0]
+            if binding.resolve(left_key).alias != left_alias:
+                left_key, right_key = right_key, left_key
+            node = LJoin(
+                sides[query.tables[0].alias],
+                sides[query.tables[1].alias],
+                left_key,
+                right_key,
+            )
+        else:
+            node = sides[query.tables[0].alias]
+        residual_pred = and_together(residual)
+        if residual_pred is not None:
+            node = LFilter(node, residual_pred)
+
+        return self._plan_top(query, binding, node)
+
+    # -- helpers ---------------------------------------------------------
+    def _as_join_equality(
+        self, conjunct: Expr, binding: Binding
+    ) -> Optional[tuple[ColumnRef, ColumnRef]]:
+        """Recognize ``a.col = b.col`` between two different relations."""
+        if not (isinstance(conjunct, BinOp) and conjunct.op == "=="):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+            return None
+        if binding.resolve(left).alias == binding.resolve(right).alias:
+            return None
+        return (left, right)
+
+    def _plan_top(
+        self, query: Query, binding: Binding, node: LogicalNode
+    ) -> PlannedQuery:
+        select_exprs = [item.expr for item in query.select_items]
+        extra_exprs = []
+        if query.having is not None:
+            extra_exprs.append(query.having)
+        extra_exprs += [o.expr for o in query.order_by]
+        aggs = _collect_aggregates(select_exprs + extra_exprs)
+
+        has_grouping = bool(query.group_by) or bool(aggs)
+        mapping: dict[Expr, Expr] = {}
+        if has_grouping:
+            node, mapping = self._plan_aggregate(query, binding, node, aggs)
+
+        having = query.having
+        if having is not None:
+            if not has_grouping:
+                raise PlanError("HAVING requires GROUP BY or aggregates")
+            node = LFilter(node, substitute(having, mapping))
+
+        items: list[tuple[Expr, str]] = []
+        atoms: list[Atom] = []
+        used_names: set[str] = set()
+        for position, item in enumerate(query.select_items):
+            rewritten = substitute(item.expr, mapping) if has_grouping else item.expr
+            if has_grouping:
+                self._check_resolved(rewritten, node)
+            name = item.output_name(position)
+            if name in used_names:  # e.g. SELECT s1.x1, s2.x1
+                suffix = 2
+                while f"{name}_{suffix}" in used_names:
+                    suffix += 1
+                name = f"{name}_{suffix}"
+            used_names.add(name)
+            items.append((rewritten, name))
+            atoms.append(binding.atom_of(item.expr))
+        node = LProject(node, items, atoms)
+
+        if query.distinct:
+            node = LDistinct(node)
+
+        if query.order_by:
+            node = LOrder(node, self._order_keys(query, binding, mapping, node))
+        if query.limit is not None:
+            node = LLimit(node, query.limit)
+        return PlannedQuery(node, binding, query)
+
+    def _plan_aggregate(
+        self,
+        query: Query,
+        binding: Binding,
+        node: LogicalNode,
+        aggs: list[FuncCall],
+    ) -> tuple[LogicalNode, dict[Expr, Expr]]:
+        mapping: dict[Expr, Expr] = {}
+        key_atoms: list[Atom] = []
+        for index, key in enumerate(query.group_by):
+            if contains_aggregate(key):
+                raise PlanError("aggregates are not allowed in GROUP BY")
+            mapping[key] = ColumnRef(None, f"key_{index}")
+            key_atoms.append(binding.atom_of(key))
+        specs: list[AggSpec] = []
+        agg_atoms: list[Atom] = []
+        for index, call in enumerate(aggs):
+            out = f"agg_{index}"
+            arg = call.args[0] if call.args else None
+            specs.append(AggSpec(call.name, arg, out))
+            agg_atoms.append(binding.atom_of(call))
+            mapping[call] = ColumnRef(None, out)
+        aggregate = LAggregate(node, list(query.group_by), key_atoms, specs, agg_atoms)
+        return aggregate, mapping
+
+    def _check_resolved(self, expr: Expr, node: LogicalNode) -> None:
+        """Post-aggregation expressions may only use aggregate outputs."""
+        available = {name for name, __ in node.output_columns()}
+        for sub in walk(expr):
+            if isinstance(sub, ColumnRef):
+                if sub.table is not None or sub.name not in available:
+                    raise PlanError(
+                        f"column {sub} must appear in GROUP BY or an aggregate"
+                    )
+
+    def _order_keys(
+        self,
+        query: Query,
+        binding: Binding,
+        mapping: dict[Expr, Expr],
+        node: LogicalNode,
+    ) -> list[tuple[str, bool]]:
+        """Resolve ORDER BY items to output column names of the projection."""
+        available = {name for name, __ in node.output_columns()}
+        # Map each projected expression back to its output name.
+        assert isinstance(node, (LProject, LDistinct))
+        project = node.child if isinstance(node, LDistinct) else node
+        assert isinstance(project, LProject)
+        by_expr = {expr: name for expr, name in project.items}
+        keys: list[tuple[str, bool]] = []
+        for order in query.order_by:
+            rewritten = substitute(order.expr, mapping) if mapping else order.expr
+            if isinstance(rewritten, ColumnRef) and rewritten.table is None and (
+                rewritten.name in available
+            ):
+                keys.append((rewritten.name, order.descending))
+            elif rewritten in by_expr:
+                keys.append((by_expr[rewritten], order.descending))
+            else:
+                raise PlanError(
+                    f"ORDER BY expression {order.expr} must appear in the select list"
+                )
+        return keys
+
+
+def plan_query(sql_or_query, catalog: Catalog) -> PlannedQuery:
+    """Convenience: parse (if needed) and plan a query."""
+    from repro.sql.parser import parse
+
+    query = parse(sql_or_query) if isinstance(sql_or_query, str) else sql_or_query
+    return Planner(catalog).plan(query)

@@ -1,0 +1,27 @@
+"""Workload generators and the CSV ingestion path."""
+
+from repro.workloads.csvio import read_csv_chunks, read_csv_rows, write_csv
+from repro.workloads.generators import (
+    JoinWorkload,
+    SELECTION_DOMAIN,
+    SelectionWorkload,
+    grouped_stream,
+    join_streams,
+    key_domain_for_join_selectivity,
+    selection_stream,
+    selection_threshold,
+)
+
+__all__ = [
+    "JoinWorkload",
+    "SELECTION_DOMAIN",
+    "SelectionWorkload",
+    "grouped_stream",
+    "join_streams",
+    "key_domain_for_join_selectivity",
+    "read_csv_chunks",
+    "read_csv_rows",
+    "selection_stream",
+    "selection_threshold",
+    "write_csv",
+]

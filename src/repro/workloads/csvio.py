@@ -1,0 +1,104 @@
+"""CSV ingestion — the "complete software stack" path of Figure 9/10.
+
+The paper's SystemX comparison feeds both systems from a CSV file: "data is
+read from an input file in chunks.  It is parsed and then it is passed into
+the system for query processing."  This module provides that loading path
+so the loading-vs-processing breakdown (the paper's final figure) is
+measured, not estimated:
+
+* :func:`write_csv` materializes a workload;
+* :func:`read_csv_chunks` parses it chunk-wise into columns (DataCell's
+  bulk path);
+* :func:`read_csv_rows` parses it row-by-row (SystemX's per-tuple path).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.kernel.atoms import Atom, numpy_dtype
+from repro.kernel.storage import Schema
+
+_PARSERS = {
+    Atom.INT: int,
+    Atom.OID: int,
+    Atom.TIMESTAMP: int,
+    Atom.FLT: float,
+    Atom.BIT: lambda s: s == "true",
+    Atom.STR: str,
+}
+
+
+def write_csv(
+    path: str | Path,
+    columns: Mapping[str, Sequence | np.ndarray],
+    order: Sequence[str] | None = None,
+) -> int:
+    """Write columns as a headerless CSV; returns the number of rows."""
+    names = list(order) if order is not None else list(columns)
+    arrays = [np.asarray(columns[name]) for name in names]
+    lengths = {len(a) for a in arrays}
+    if len(lengths) != 1:
+        raise WorkloadError("ragged columns in write_csv")
+    count = lengths.pop()
+    with open(path, "w") as out:
+        for i in range(count):
+            out.write(",".join(str(a[i]) for a in arrays))
+            out.write("\n")
+    return count
+
+
+def read_csv_chunks(
+    path: str | Path,
+    schema: Schema,
+    chunk_size: int,
+) -> Iterator[dict[str, np.ndarray]]:
+    """Parse a CSV into column chunks of ``chunk_size`` rows.
+
+    This is DataCell's loading path: the file is read in chunks, each line
+    split and coerced, and the values packed column-wise for a bulk basket
+    append.
+    """
+    if chunk_size <= 0:
+        raise WorkloadError("chunk_size must be positive")
+    names = list(schema.names)
+    parsers = [_PARSERS[schema.atom_of(name)] for name in names]
+    dtypes = [numpy_dtype(schema.atom_of(name)) for name in names]
+    buffers: list[list] = [[] for __ in names]
+    filled = 0
+    with open(path) as source:
+        for line in source:
+            parts = line.rstrip("\n").split(",")
+            if len(parts) != len(names):
+                raise WorkloadError(f"bad CSV arity in {path}: {line!r}")
+            for buffer, parser, part in zip(buffers, parsers, parts):
+                buffer.append(parser(part))
+            filled += 1
+            if filled == chunk_size:
+                yield {
+                    name: np.asarray(buffer, dtype=dtype)
+                    for name, buffer, dtype in zip(names, buffers, dtypes)
+                }
+                buffers = [[] for __ in names]
+                filled = 0
+    if filled:
+        yield {
+            name: np.asarray(buffer, dtype=dtype)
+            for name, buffer, dtype in zip(names, buffers, dtypes)
+        }
+
+
+def read_csv_rows(path: str | Path, schema: Schema) -> Iterator[tuple]:
+    """Parse a CSV row by row (the tuple-at-a-time ingestion path)."""
+    parsers = [_PARSERS[atom] for __, atom in schema.columns]
+    expected = len(parsers)
+    with open(path) as source:
+        for line in source:
+            parts = line.rstrip("\n").split(",")
+            if len(parts) != expected:
+                raise WorkloadError(f"bad CSV arity in {path}: {line!r}")
+            yield tuple(parser(part) for parser, part in zip(parsers, parts))

@@ -1,0 +1,137 @@
+"""Synthetic stream generators for the paper's experiments.
+
+All of §4's workloads are uniform random streams with controlled predicate
+selectivity (Q1/Q3: ``x1 > v1``) and join hit rate (Q2: ``s1.x2 = s2.x2``).
+These helpers generate columns plus the literal/domain values that achieve
+a requested selectivity, so every benchmark states its workload in the
+paper's own terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: Domain of the selection attribute; selectivity s% ⇔ predicate x1 > (1-s)·D
+SELECTION_DOMAIN = 1_000
+
+
+@dataclass(frozen=True)
+class SelectionWorkload:
+    """A stream for Q1/Q3-style queries: filter on x1, aggregate x2.
+
+    ``threshold`` is the literal v1 such that ``x1 > v1`` matches
+    ``selectivity`` of the tuples in expectation.
+    """
+
+    x1: np.ndarray
+    x2: np.ndarray
+    threshold: int
+    selectivity: float
+
+    def columns(self) -> dict[str, np.ndarray]:
+        return {"x1": self.x1, "x2": self.x2}
+
+    def rows(self):
+        """Row-tuple iterator (the SystemX / receptor ingestion path)."""
+        return zip(self.x1.tolist(), self.x2.tolist())
+
+
+def selection_threshold(selectivity: float, domain: int = SELECTION_DOMAIN) -> int:
+    """The v1 making ``x1 > v1`` select ``selectivity`` of uniform x1."""
+    if not 0.0 < selectivity <= 1.0:
+        raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+    return int(round(domain * (1.0 - selectivity))) - 1
+
+
+def selection_stream(
+    count: int,
+    selectivity: float,
+    seed: int = 0,
+    domain: int = SELECTION_DOMAIN,
+    value_range: int = 100,
+) -> SelectionWorkload:
+    """Uniform stream of (x1, x2) with a threshold for the wanted selectivity."""
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    rng = np.random.default_rng(seed)
+    x1 = rng.integers(0, domain, count, dtype=np.int64)
+    x2 = rng.integers(0, value_range, count, dtype=np.int64)
+    return SelectionWorkload(x1, x2, selection_threshold(selectivity, domain), selectivity)
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """Two streams for Q2-style join queries.
+
+    ``join_selectivity`` is the probability that a random (left, right)
+    tuple pair matches on x2; with uniform keys it equals ``1 / domain``.
+    """
+
+    left_x1: np.ndarray
+    left_x2: np.ndarray
+    right_x1: np.ndarray
+    right_x2: np.ndarray
+    key_domain: int
+
+    @property
+    def join_selectivity(self) -> float:
+        return 1.0 / self.key_domain
+
+    def left_columns(self) -> dict[str, np.ndarray]:
+        return {"x1": self.left_x1, "x2": self.left_x2}
+
+    def right_columns(self) -> dict[str, np.ndarray]:
+        return {"x1": self.right_x1, "x2": self.right_x2}
+
+    def left_rows(self):
+        return zip(self.left_x1.tolist(), self.left_x2.tolist())
+
+    def right_rows(self):
+        return zip(self.right_x1.tolist(), self.right_x2.tolist())
+
+
+def key_domain_for_join_selectivity(join_selectivity: float) -> int:
+    """Uniform-key domain size realizing a per-pair match probability."""
+    if not 0.0 < join_selectivity <= 1.0:
+        raise WorkloadError(
+            f"join selectivity must be in (0, 1], got {join_selectivity}"
+        )
+    return max(1, int(round(1.0 / join_selectivity)))
+
+
+def join_streams(
+    count: int,
+    join_selectivity: float,
+    seed: int = 0,
+    value_range: int = 100,
+) -> JoinWorkload:
+    """Two uniform streams whose x2 keys match with the given probability."""
+    domain = key_domain_for_join_selectivity(join_selectivity)
+    rng = np.random.default_rng(seed)
+    return JoinWorkload(
+        left_x1=rng.integers(0, value_range, count, dtype=np.int64),
+        left_x2=rng.integers(0, domain, count, dtype=np.int64),
+        right_x1=rng.integers(0, value_range, count, dtype=np.int64),
+        right_x2=rng.integers(0, domain, count, dtype=np.int64),
+        key_domain=domain,
+    )
+
+
+def grouped_stream(
+    count: int,
+    groups: int,
+    seed: int = 0,
+    value_range: int = 100,
+) -> dict[str, np.ndarray]:
+    """A stream whose x1 has exactly ``groups`` distinct values (GROUP BY)."""
+    if groups <= 0:
+        raise WorkloadError("groups must be positive")
+    rng = np.random.default_rng(seed)
+    return {
+        "x1": rng.integers(0, groups, count, dtype=np.int64),
+        "x2": rng.integers(0, value_range, count, dtype=np.int64),
+    }

@@ -1,0 +1,142 @@
+"""Unit and property tests for aggregation operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KernelError, TypeMismatchError
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.kernel.algebra.aggregate import (
+    subavg,
+    subcount,
+    submax,
+    submin,
+    subsum,
+    total_avg,
+    total_count,
+    total_max,
+    total_min,
+    total_sum,
+)
+from repro.kernel.algebra.group import group
+
+from conftest import flt_bat, int_bat, str_bat
+
+
+class TestGlobalAggregates:
+    def test_sum_int(self):
+        assert total_sum(int_bat([1, 2, 3])) == 6
+        assert isinstance(total_sum(int_bat([1])), int)
+
+    def test_sum_flt(self):
+        assert total_sum(flt_bat([0.5, 1.5])) == pytest.approx(2.0)
+
+    def test_sum_empty_is_null(self):
+        assert total_sum(BAT.empty(Atom.INT)) is None
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            total_sum(str_bat(["a"]))
+
+    def test_count(self):
+        assert total_count(int_bat([1, 2])) == 2
+        assert total_count(BAT.empty(Atom.INT)) == 0
+
+    def test_min_max(self):
+        b = int_bat([4, 1, 9])
+        assert total_min(b) == 1
+        assert total_max(b) == 9
+
+    def test_min_max_strings(self):
+        b = str_bat(["pear", "apple"])
+        assert total_min(b) == "apple"
+        assert total_max(b) == "pear"
+
+    def test_min_max_empty(self):
+        assert total_min(BAT.empty(Atom.INT)) is None
+        assert total_max(BAT.empty(Atom.INT)) is None
+
+    def test_avg(self):
+        assert total_avg(int_bat([1, 2, 3, 4])) == pytest.approx(2.5)
+        assert total_avg(BAT.empty(Atom.FLT)) is None
+
+
+class TestGroupedAggregates:
+    def _grouping(self):
+        keys = int_bat([2, 1, 2, 1, 3])
+        vals = int_bat([10, 20, 30, 40, 50])
+        g = group([keys])
+        return g, vals
+
+    def test_subsum(self):
+        g, vals = self._grouping()
+        assert subsum(vals, g.gids, g.ngroups).to_list() == [60, 40, 50]
+
+    def test_subcount(self):
+        g, vals = self._grouping()
+        assert subcount(vals, g.gids, g.ngroups).to_list() == [2, 2, 1]
+
+    def test_submin_submax(self):
+        g, vals = self._grouping()
+        assert submin(vals, g.gids, g.ngroups).to_list() == [20, 10, 50]
+        assert submax(vals, g.gids, g.ngroups).to_list() == [40, 30, 50]
+
+    def test_subavg(self):
+        g, vals = self._grouping()
+        assert subavg(vals, g.gids, g.ngroups).to_list() == pytest.approx([30.0, 20.0, 50.0])
+
+    def test_submin_strings(self):
+        keys = int_bat([0, 1, 0])
+        vals = str_bat(["b", "x", "a"])
+        g = group([keys])
+        assert submin(vals, g.gids, g.ngroups).to_list() == ["a", "x"]
+        assert submax(vals, g.gids, g.ngroups).to_list() == ["b", "x"]
+
+    def test_subsum_float(self):
+        keys = int_bat([0, 0, 1])
+        vals = flt_bat([1.5, 2.5, 3.0])
+        g = group([keys])
+        assert subsum(vals, g.gids, g.ngroups).to_list() == pytest.approx([4.0, 3.0])
+
+    def test_misaligned_lengths_raise(self):
+        with pytest.raises(KernelError):
+            subsum(int_bat([1, 2]), int_bat([0]), 1)
+
+    def test_empty_groups(self):
+        g = group([BAT.empty(Atom.INT)])
+        out = subsum(BAT.empty(Atom.INT), g.gids, g.ngroups)
+        assert out.to_list() == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-100, 100)), max_size=80
+        )
+    )
+    def test_subsum_matches_python(self, rows):
+        keys = int_bat([k for k, __ in rows])
+        vals = int_bat([v for __, v in rows])
+        g = group([keys])
+        got = subsum(vals, g.gids, g.ngroups).to_list()
+        expected: dict[int, int] = {}
+        for k, v in rows:
+            expected[k] = expected.get(k, 0) + v
+        assert got == [expected[k] for k in sorted(expected)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-100, 100)), min_size=1, max_size=80
+        )
+    )
+    def test_submin_submax_match_python(self, rows):
+        keys = int_bat([k for k, __ in rows])
+        vals = int_bat([v for __, v in rows])
+        g = group([keys])
+        mins: dict[int, int] = {}
+        maxs: dict[int, int] = {}
+        for k, v in rows:
+            mins[k] = min(mins.get(k, v), v)
+            maxs[k] = max(maxs.get(k, v), v)
+        order = sorted(mins)
+        assert submin(vals, g.gids, g.ngroups).to_list() == [mins[k] for k in order]
+        assert submax(vals, g.gids, g.ngroups).to_list() == [maxs[k] for k in order]

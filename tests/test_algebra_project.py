@@ -1,0 +1,68 @@
+"""Unit tests for projection / reconstruction operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.kernel.algebra.project import head_oids, materialize, projection
+from repro.kernel.algebra.select import thetaselect
+
+from conftest import int_bat, str_bat
+
+
+class TestProjection:
+    def test_fetch_by_candidates(self):
+        values = int_bat([10, 20, 30, 40])
+        cand = BAT.from_values([0, 2], Atom.OID)
+        assert projection(cand, values).to_list() == [10, 30]
+
+    def test_result_aligned_with_candidates(self):
+        values = int_bat([10, 20, 30])
+        cand = BAT.from_values([1, 2], Atom.OID, hseq=5)
+        out = projection(cand, values)
+        assert out.hseq == 5
+        assert out.to_list() == [20, 30]
+
+    def test_respects_value_hseq(self):
+        values = int_bat([10, 20, 30], hseq=100)
+        cand = BAT.from_values([101], Atom.OID)
+        assert projection(cand, values).to_list() == [20]
+
+    def test_out_of_range_raises(self):
+        values = int_bat([10])
+        cand = BAT.from_values([5], Atom.OID)
+        with pytest.raises(AlignmentError):
+            projection(cand, values)
+
+    def test_late_reconstruction_pattern(self):
+        """Select on one column, fetch another — the column-store idiom."""
+        x1 = int_bat([5, 1, 8, 3])
+        x2 = str_bat(["a", "b", "c", "d"])
+        cand = thetaselect(x1, 4, ">")
+        assert projection(cand, x2).to_list() == ["a", "c"]
+
+
+class TestMaterialize:
+    def test_copies_storage(self):
+        base = np.arange(5, dtype=np.int64)
+        view = BAT(base[1:4], Atom.INT, hseq=1)
+        owned = materialize(view)
+        base[2] = 99
+        assert view.to_list() == [1, 99, 3]
+        assert owned.to_list() == [1, 2, 3]
+
+
+class TestHeadOids:
+    def test_mirror_aligned(self):
+        b = int_bat([7, 8, 9], hseq=4)
+        mirror = head_oids(b)
+        assert mirror.to_list() == [4, 5, 6]
+        assert mirror.hseq == 4
+
+    def test_roundtrip_through_projection(self):
+        b = int_bat([7, 8, 9], hseq=4)
+        mirror = head_oids(b)
+        cand = thetaselect(b, 7, ">")
+        assert projection(cand, mirror).to_list() == cand.to_list()

@@ -1,0 +1,118 @@
+"""Unit and property tests for selection operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KernelError
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.kernel.algebra.select import (
+    difference_candidates,
+    intersect_candidates,
+    mask_select,
+    select,
+    thetaselect,
+    union_candidates,
+)
+
+from conftest import int_bat, str_bat
+
+
+class TestRangeSelect:
+    def test_closed_range(self):
+        b = int_bat([1, 5, 3, 9, 5])
+        assert select(b, 3, 5).to_list() == [1, 2, 4]
+
+    def test_open_bounds(self):
+        b = int_bat([1, 5, 3, 9, 5])
+        assert select(b, None, 4).to_list() == [0, 2]
+        assert select(b, 5, None).to_list() == [1, 3, 4]
+        assert select(b, None, None).to_list() == [0, 1, 2, 3, 4]
+
+    def test_exclusive_bounds(self):
+        b = int_bat([1, 2, 3, 4])
+        assert select(b, 1, 4, low_inclusive=False, high_inclusive=False).to_list() == [1, 2]
+
+    def test_hseq_offsets_results(self):
+        b = int_bat([1, 5, 9], hseq=100)
+        assert select(b, 5, 9).to_list() == [101, 102]
+
+    def test_with_candidates(self):
+        b = int_bat([1, 5, 3, 9, 5])
+        cand = BAT.from_values([1, 3], Atom.OID)
+        assert select(b, 5, 9, candidates=cand).to_list() == [1, 3]
+
+    def test_empty_input(self):
+        assert select(BAT.empty(Atom.INT), 0, 10).to_list() == []
+
+
+class TestThetaSelect:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("==", [1, 4]),
+            ("!=", [0, 2, 3]),
+            ("<", [0, 2]),
+            ("<=", [0, 1, 2, 4]),
+            (">", [3]),
+            (">=", [1, 3, 4]),
+        ],
+    )
+    def test_all_operators(self, op, expected):
+        b = int_bat([1, 5, 3, 9, 5])
+        assert thetaselect(b, 5, op).to_list() == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(KernelError):
+            thetaselect(int_bat([1]), 1, "~")
+
+    def test_string_column(self):
+        b = str_bat(["b", "a", "c", "b"])
+        assert thetaselect(b, "b", "==").to_list() == [0, 3]
+        assert thetaselect(b, "b", ">").to_list() == [2]
+
+    def test_with_candidates_composes(self):
+        b = int_bat([1, 5, 3, 9, 5])
+        first = thetaselect(b, 2, ">")  # oids 1,2,3,4
+        second = thetaselect(b, 6, "<", candidates=first)
+        assert second.to_list() == [1, 2, 4]
+
+    @given(st.lists(st.integers(-50, 50), max_size=100), st.integers(-50, 50))
+    def test_matches_python_filter(self, values, pivot):
+        b = int_bat(values)
+        got = thetaselect(b, pivot, ">").to_list()
+        expected = [i for i, v in enumerate(values) if v > pivot]
+        assert got == expected
+
+
+class TestMaskSelect:
+    def test_basic(self):
+        mask = BAT.from_values([True, False, True], Atom.BIT)
+        assert mask_select(mask).to_list() == [0, 2]
+
+    def test_requires_bit(self):
+        with pytest.raises(KernelError):
+            mask_select(int_bat([1, 0]))
+
+    def test_with_candidates(self):
+        mask = BAT.from_values([True, False, True, True], Atom.BIT)
+        cand = BAT.from_values([1, 2], Atom.OID)
+        assert mask_select(mask, cand).to_list() == [2]
+
+
+class TestCandidateSetOps:
+    def test_intersect(self):
+        a = BAT.from_values([1, 3, 5], Atom.OID)
+        b = BAT.from_values([3, 4, 5], Atom.OID)
+        assert intersect_candidates(a, b).to_list() == [3, 5]
+
+    def test_union(self):
+        a = BAT.from_values([1, 3], Atom.OID)
+        b = BAT.from_values([2, 3], Atom.OID)
+        assert union_candidates(a, b).to_list() == [1, 2, 3]
+
+    def test_difference(self):
+        a = BAT.from_values([1, 2, 3], Atom.OID)
+        b = BAT.from_values([2], Atom.OID)
+        assert difference_candidates(a, b).to_list() == [1, 3]

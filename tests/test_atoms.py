@@ -1,0 +1,114 @@
+"""Unit tests for the atom (scalar type) system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.kernel.atoms import (
+    Atom,
+    atom_of_dtype,
+    atom_of_python,
+    division_result,
+    is_numeric,
+    null_value,
+    numpy_dtype,
+    promote,
+)
+
+
+class TestNumpyDtype:
+    def test_int_maps_to_int64(self):
+        assert numpy_dtype(Atom.INT) == np.dtype(np.int64)
+
+    def test_flt_maps_to_float64(self):
+        assert numpy_dtype(Atom.FLT) == np.dtype(np.float64)
+
+    def test_bit_maps_to_bool(self):
+        assert numpy_dtype(Atom.BIT) == np.dtype(np.bool_)
+
+    def test_str_maps_to_object(self):
+        assert numpy_dtype(Atom.STR) == np.dtype(object)
+
+    def test_timestamp_maps_to_int64(self):
+        assert numpy_dtype(Atom.TIMESTAMP) == np.dtype(np.int64)
+
+
+class TestAtomOfDtype:
+    def test_integer_kinds(self):
+        assert atom_of_dtype(np.dtype(np.int32)) == Atom.INT
+        assert atom_of_dtype(np.dtype(np.uint8)) == Atom.INT
+
+    def test_float(self):
+        assert atom_of_dtype(np.dtype(np.float32)) == Atom.FLT
+
+    def test_bool(self):
+        assert atom_of_dtype(np.dtype(np.bool_)) == Atom.BIT
+
+    def test_object_is_str(self):
+        assert atom_of_dtype(np.dtype(object)) == Atom.STR
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeMismatchError):
+            atom_of_dtype(np.dtype("datetime64[ns]"))
+
+
+class TestAtomOfPython:
+    def test_bool_before_int(self):
+        # bool is a subclass of int; BIT must win.
+        assert atom_of_python(True) == Atom.BIT
+
+    def test_int(self):
+        assert atom_of_python(7) == Atom.INT
+
+    def test_float(self):
+        assert atom_of_python(1.5) == Atom.FLT
+
+    def test_str(self):
+        assert atom_of_python("x") == Atom.STR
+
+    def test_numpy_scalars(self):
+        assert atom_of_python(np.int64(3)) == Atom.INT
+        assert atom_of_python(np.float64(3.0)) == Atom.FLT
+
+    def test_none_raises(self):
+        with pytest.raises(TypeMismatchError):
+            atom_of_python(None)
+
+
+class TestPromotion:
+    def test_same_atom(self):
+        assert promote(Atom.INT, Atom.INT) == Atom.INT
+
+    def test_int_flt_widens(self):
+        assert promote(Atom.INT, Atom.FLT) == Atom.FLT
+        assert promote(Atom.FLT, Atom.INT) == Atom.FLT
+
+    def test_timestamp_arith_degrades_to_int(self):
+        assert promote(Atom.TIMESTAMP, Atom.INT) == Atom.INT
+
+    def test_str_not_promotable(self):
+        with pytest.raises(TypeMismatchError):
+            promote(Atom.STR, Atom.INT)
+
+    def test_division_always_flt(self):
+        assert division_result(Atom.INT, Atom.INT) == Atom.FLT
+        assert division_result(Atom.FLT, Atom.INT) == Atom.FLT
+
+    def test_division_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            division_result(Atom.STR, Atom.INT)
+
+
+class TestNumericAndNulls:
+    def test_is_numeric(self):
+        assert is_numeric(Atom.INT)
+        assert is_numeric(Atom.FLT)
+        assert is_numeric(Atom.OID)
+        assert is_numeric(Atom.TIMESTAMP)
+        assert not is_numeric(Atom.STR)
+        assert not is_numeric(Atom.BIT)
+
+    def test_null_values(self):
+        assert null_value(Atom.STR) is None
+        assert np.isnan(null_value(Atom.FLT))
+        assert null_value(Atom.INT) == np.iinfo(np.int64).min

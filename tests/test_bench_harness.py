@@ -1,0 +1,112 @@
+"""Tests for the benchmark drivers and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro import DataCellEngine
+from repro.bench import (
+    WindowTimings,
+    drive_join,
+    drive_landmark,
+    drive_single,
+    format_table,
+    total_time_datacell,
+    total_time_systemx,
+)
+from repro.dsms import SystemX
+from repro.errors import ReproError
+from repro.kernel.atoms import Atom
+from repro.kernel.storage import Schema
+
+
+@pytest.fixture
+def engine():
+    e = DataCellEngine()
+    e.create_stream("s", [("x1", "int"), ("x2", "int")])
+    e.create_stream("s2", [("x1", "int"), ("x2", "int")])
+    return e
+
+
+def columns(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "x1": rng.integers(0, 10, count).astype(np.int64),
+        "x2": rng.integers(0, 10, count).astype(np.int64),
+    }
+
+
+class TestWindowTimings:
+    def test_means(self):
+        timings = WindowTimings(
+            response_seconds=[10.0, 1.0, 3.0],
+            breakdowns=[{"main": 1.0}, {"main": 2.0, "merge": 1.0}, {"merge": 3.0}],
+        )
+        assert timings.mean_response() == pytest.approx(14.0 / 3)
+        assert timings.mean_response(skip_first=1) == pytest.approx(2.0)
+        assert timings.tag_mean("merge", skip_first=1) == pytest.approx(2.0)
+
+    def test_empty(self):
+        timings = WindowTimings()
+        assert timings.mean_response() == 0.0
+        assert timings.tag_mean("main") == 0.0
+
+
+class TestDrivers:
+    def test_drive_single_counts_windows(self, engine):
+        query = engine.submit("SELECT count(*) FROM s [RANGE 20 SLIDE 10]")
+        timings = drive_single(engine, query, "s", columns(200), 20, 10, 5)
+        assert len(timings.response_seconds) == 5
+        assert timings.result_sizes == [1] * 5
+
+    def test_drive_single_rejects_short_workload(self, engine):
+        query = engine.submit("SELECT count(*) FROM s [RANGE 20 SLIDE 10]")
+        with pytest.raises(ReproError):
+            drive_single(engine, query, "s", columns(10), 20, 10, 5)
+
+    def test_drive_single_chunked(self, engine):
+        query = engine.submit("SELECT count(*) FROM s [RANGE 20 SLIDE 10]")
+        timings = drive_single(engine, query, "s", columns(200), 20, 10, 4, chunk_m=5)
+        assert len(timings.response_seconds) == 4
+
+    def test_drive_landmark(self, engine):
+        query = engine.submit("SELECT count(*) FROM s [LANDMARK SLIDE 10]")
+        timings = drive_landmark(engine, query, "s", columns(100), 10, 6)
+        assert len(timings.response_seconds) == 6
+
+    def test_drive_join(self, engine):
+        query = engine.submit(
+            "SELECT count(*) FROM s a [RANGE 20 SLIDE 10], s2 b [RANGE 20 SLIDE 10] "
+            "WHERE a.x2 = b.x2"
+        )
+        timings = drive_join(
+            engine, query, "s", columns(100, 1), "s2", columns(100, 2), 20, 10, 4
+        )
+        assert len(timings.response_seconds) == 4
+
+    def test_total_time_datacell(self, engine):
+        query = engine.submit("SELECT count(*) FROM s [RANGE 32 SLIDE 16]")
+        elapsed = total_time_datacell(engine, [("s", columns(200))], chunk=64)
+        assert elapsed > 0
+        assert len(query.results()) == (200 - 32) // 16 + 1
+
+    def test_total_time_systemx(self):
+        systemx = SystemX()
+        systemx.create_stream("s", Schema.of(("x1", Atom.INT), ("x2", Atom.INT)))
+        query = systemx.submit("SELECT count(*) FROM s [RANGE 32 SLIDE 16]")
+        cols = columns(200)
+        rows = list(zip(cols["x1"].tolist(), cols["x2"].tolist()))
+        elapsed = total_time_systemx(systemx, [("s", rows)])
+        assert elapsed > 0
+        assert len(query.results) == (200 - 32) // 16 + 1
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table("T", ["a", "bb"], [(1, 0.5), (22, 0.0001)])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "1.00e-04" in table  # small floats in scientific notation
+
+    def test_format_table_zero(self):
+        assert "0" in format_table("T", ["x"], [(0.0,)])

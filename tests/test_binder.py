@@ -1,0 +1,131 @@
+"""Unit tests for name resolution and type checking."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.kernel.atoms import Atom
+from repro.sql.binder import bind
+from repro.sql.parser import parse, parse_expression
+
+
+def bound(catalog, sql):
+    query = parse(sql)
+    return query, bind(query, catalog)
+
+
+class TestResolution:
+    def test_bare_column(self, catalog):
+        query, binding = bound(catalog, "SELECT x1 FROM s")
+        column = binding.resolve(parse_expression("x1"))
+        assert column.alias == "s"
+        assert column.column == "x1"
+        assert column.atom == Atom.INT
+        assert column.is_stream
+
+    def test_qualified_column(self, catalog):
+        __, binding = bound(catalog, "SELECT s1.x1 FROM s s1, s2 WHERE s1.x2 = s2.x2")
+        column = binding.resolve(parse_expression("s1.x1"))
+        assert column.alias == "s1"
+        assert column.relation == "s"
+
+    def test_ambiguous_bare_name(self, catalog):
+        __, binding = bound(catalog, "SELECT s1.x1 FROM s s1, s2 WHERE s1.x2 = s2.x2")
+        with pytest.raises(BindError, match="ambiguous"):
+            binding.resolve(parse_expression("x1"))
+
+    def test_unknown_column(self, catalog):
+        __, binding = bound(catalog, "SELECT x1 FROM s")
+        with pytest.raises(BindError):
+            binding.resolve(parse_expression("nope"))
+
+    def test_unknown_alias(self, catalog):
+        __, binding = bound(catalog, "SELECT x1 FROM s")
+        with pytest.raises(BindError):
+            binding.resolve(parse_expression("zz.x1"))
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(Exception):
+            bound(catalog, "SELECT a FROM missing_relation")
+
+    def test_duplicate_alias(self, catalog):
+        with pytest.raises(BindError):
+            bound(catalog, "SELECT x1 FROM s a, s2 a WHERE a.x1 = a.x1")
+
+    def test_aliases_in(self, catalog):
+        __, binding = bound(catalog, "SELECT s1.x1 FROM s s1, s2 WHERE s1.x2 = s2.x2")
+        expr = parse_expression("s1.x1 + s2.x1")
+        assert binding.aliases_in(expr) == {"s1", "s2"}
+
+
+class TestTyping:
+    def test_arith_promotion(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        assert binding.atom_of(parse_expression("k + 1")) == Atom.INT
+        assert binding.atom_of(parse_expression("k + 0.5")) == Atom.FLT
+        assert binding.atom_of(parse_expression("v * 2")) == Atom.FLT
+
+    def test_division_is_float(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        assert binding.atom_of(parse_expression("k / 2")) == Atom.FLT
+
+    def test_comparison_is_bit(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        assert binding.atom_of(parse_expression("k > 3")) == Atom.BIT
+
+    def test_string_comparison(self, catalog):
+        __, binding = bound(catalog, "SELECT tag FROM t")
+        assert binding.atom_of(parse_expression("tag = 'x'")) == Atom.BIT
+        with pytest.raises(BindError):
+            binding.atom_of(parse_expression("tag > 3"))
+
+    def test_boolean_ops_require_bits(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        assert binding.atom_of(parse_expression("k > 1 and k < 5")) == Atom.BIT
+        with pytest.raises(BindError):
+            binding.atom_of(parse_expression("k and k"))
+
+    def test_aggregate_types(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        assert binding.atom_of(parse_expression("sum(k)")) == Atom.INT
+        assert binding.atom_of(parse_expression("sum(v)")) == Atom.FLT
+        assert binding.atom_of(parse_expression("count(*)")) == Atom.INT
+        assert binding.atom_of(parse_expression("avg(k)")) == Atom.FLT
+        assert binding.atom_of(parse_expression("min(tag)")) == Atom.STR
+
+    def test_sum_of_string_rejected(self, catalog):
+        __, binding = bound(catalog, "SELECT tag FROM t")
+        with pytest.raises(BindError):
+            binding.atom_of(parse_expression("sum(tag)"))
+
+    def test_unknown_function(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        with pytest.raises(BindError):
+            binding.atom_of(parse_expression("median(k)"))
+
+    def test_nested_aggregates_rejected(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        with pytest.raises(BindError):
+            binding.atom_of(parse_expression("sum(max(k))"))
+
+    def test_star_only_for_count(self, catalog):
+        __, binding = bound(catalog, "SELECT k FROM t")
+        with pytest.raises(BindError):
+            binding.atom_of(parse_expression("sum(*)"))
+
+
+class TestQueryValidation:
+    def test_where_must_be_boolean(self, catalog):
+        with pytest.raises(BindError):
+            bound(catalog, "SELECT x1 FROM s WHERE x1 + 1")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bound(catalog, "SELECT x1 FROM s WHERE sum(x1) > 3")
+
+    def test_aggregate_in_group_by_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bound(catalog, "SELECT x1 FROM s GROUP BY sum(x1)")
+
+    def test_having_must_be_boolean(self, catalog):
+        with pytest.raises(BindError):
+            bound(catalog, "SELECT x1, sum(x2) FROM s GROUP BY x1 HAVING sum(x2)")

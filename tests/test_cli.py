@@ -1,0 +1,130 @@
+"""Tests for the DataCell console (``python -m repro``)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import Console, _parse_schema
+from repro.errors import ReproError
+from repro.workloads import write_csv
+
+
+def run_script(lines, console=None):
+    console = console or Console(out=io.StringIO())
+    for line in lines:
+        alive = console.execute(line)
+        if not alive:
+            break
+    return console, console.out.getvalue()
+
+
+class TestSchemaParsing:
+    def test_basic(self):
+        name, columns = _parse_schema("s (a int, b float)")
+        assert name == "s"
+        assert columns == [("a", "int"), ("b", "float")]
+
+    def test_bad_shapes(self):
+        with pytest.raises(ReproError):
+            _parse_schema("nope")
+        with pytest.raises(ReproError):
+            _parse_schema("s (a)")
+        with pytest.raises(ReproError):
+            _parse_schema("s ()")
+
+
+class TestCommands:
+    def test_create_and_streams_listing(self):
+        __, out = run_script(
+            ["CREATE STREAM s (x1 int, x2 int)", "STREAMS"]
+        )
+        assert "stream s created" in out
+        assert "s (x1 int, x2 int)" in out
+
+    def test_full_session(self, tmp_path):
+        rng = np.random.default_rng(1)
+        path = tmp_path / "data.csv"
+        write_csv(
+            path,
+            {"x1": rng.integers(0, 5, 100), "x2": rng.integers(0, 9, 100)},
+            order=["x1", "x2"],
+        )
+        console, out = run_script(
+            [
+                "CREATE STREAM s (x1 int, x2 int)",
+                "SUBMIT SELECT x1, sum(x2) FROM s [RANGE 40 SLIDE 20] GROUP BY x1 ORDER BY x1",
+                f"FEED s FROM {path} CHUNK 32",
+                "RESULTS q1 LAST",
+                "QUERIES",
+            ]
+        )
+        assert "registered q1 [incremental]" in out
+        assert "fed 100 tuple(s)" in out
+        assert "q1: 4 window(s)" in out
+
+    def test_reeval_mode(self):
+        __, out = run_script(
+            [
+                "CREATE STREAM s (x1 int, x2 int)",
+                "SUBMIT REEVAL SELECT count(*) FROM s [RANGE 4 SLIDE 2]",
+            ]
+        )
+        assert "registered q1 [reeval]" in out
+
+    def test_one_time_query_and_load(self, tmp_path):
+        path = tmp_path / "dim.csv"
+        write_csv(path, {"k": [1, 2, 3], "v": [10, 20, 30]}, order=["k", "v"])
+        __, out = run_script(
+            [
+                "CREATE TABLE dim (k int, v int)",
+                f"LOAD dim FROM {path}",
+                "SELECT k, v FROM dim WHERE v > 15 ORDER BY k",
+            ]
+        )
+        assert "loaded 3 row(s)" in out
+        assert "2 | 20" in out
+        assert "(2 row(s))" in out
+
+    def test_explain_variants(self):
+        __, out = run_script(
+            [
+                "CREATE STREAM s (x1 int, x2 int)",
+                "EXPLAIN SELECT x1 FROM s [RANGE 10 SLIDE 5] WHERE x1 > 1",
+                "EXPLAIN CONTINUOUS SELECT sum(x1) FROM s [RANGE 10 SLIDE 5]",
+            ]
+        )
+        assert "Scan[stream]" in out
+        assert "combine" in out
+
+    def test_errors_keep_console_alive(self):
+        console, out = run_script(
+            ["WIBBLE", "CREATE STREAM s (x1 int)", "STREAMS"]
+        )
+        assert "unknown command" in out
+        assert "stream s created" in out
+
+    def test_quit_stops(self):
+        console, __ = run_script(["QUIT", "CREATE STREAM s (x1 int)"])
+        assert not console.engine._stream_baskets  # nothing after QUIT
+
+    def test_comments_and_blank_lines(self):
+        __, out = run_script(["", "-- a comment", "HELP"])
+        assert "CREATE STREAM" in out
+
+    def test_run_command(self):
+        __, out = run_script(
+            [
+                "CREATE STREAM s (x1 int)",
+                "SUBMIT SELECT count(*) FROM s [RANGE 2 SLIDE 1]",
+                "RUN",
+            ]
+        )
+        assert "fired 0 window(s)" in out
+
+    def test_script_file_entry_point(self, tmp_path):
+        script = tmp_path / "session.dcl"
+        script.write_text("CREATE STREAM s (x1 int)\nSTREAMS\nQUIT\n")
+        from repro.cli import main
+
+        assert main([str(script)]) == 0

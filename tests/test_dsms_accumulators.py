@@ -1,0 +1,127 @@
+"""Unit and property tests for SystemX's retractable accumulators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsms.accumulators import (
+    AvgAccumulator,
+    CountAccumulator,
+    GroupedAccumulators,
+    MaxAccumulator,
+    MinAccumulator,
+    SumAccumulator,
+    make_accumulator,
+)
+
+
+class TestScalarAccumulators:
+    def test_sum(self):
+        acc = SumAccumulator()
+        acc.add(3)
+        acc.add(4)
+        acc.retract(3)
+        assert acc.value() == 4
+        acc.retract(4)
+        assert acc.is_empty()
+        assert acc.value() is None
+
+    def test_count(self):
+        acc = CountAccumulator()
+        acc.add()
+        acc.add()
+        acc.retract()
+        assert acc.value() == 1
+
+    def test_avg(self):
+        acc = AvgAccumulator()
+        acc.add(1)
+        acc.add(3)
+        assert acc.value() == pytest.approx(2.0)
+        acc.retract(1)
+        assert acc.value() == pytest.approx(3.0)
+        acc.retract(3)
+        assert acc.value() is None
+
+    def test_max_with_retraction(self):
+        acc = MaxAccumulator()
+        for v in (5, 9, 7):
+            acc.add(v)
+        assert acc.value() == 9
+        acc.retract(9)
+        assert acc.value() == 7
+        acc.retract(7)
+        acc.retract(5)
+        assert acc.value() is None
+
+    def test_max_duplicate_values(self):
+        acc = MaxAccumulator()
+        acc.add(5)
+        acc.add(5)
+        acc.retract(5)
+        assert acc.value() == 5
+
+    def test_min(self):
+        acc = MinAccumulator()
+        for v in (5, 2, 8):
+            acc.add(v)
+        assert acc.value() == 2
+        acc.retract(2)
+        assert acc.value() == 5
+
+    def test_factory(self):
+        assert isinstance(make_accumulator("sum"), SumAccumulator)
+        assert isinstance(make_accumulator("max"), MaxAccumulator)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+    def test_max_sliding_window_matches_python(self, values):
+        """FIFO window of size 5 over a stream: lazy-heap max == real max."""
+        acc = MaxAccumulator()
+        window: list[int] = []
+        for value in values:
+            acc.add(value)
+            window.append(value)
+            if len(window) > 5:
+                acc.retract(window.pop(0))
+            assert acc.value() == max(window)
+
+
+class TestGroupedAccumulators:
+    def test_groups_appear_and_vanish(self):
+        bank = GroupedAccumulators(["sum", "count"])
+        bank.add(("a",), [10, 1])
+        bank.add(("a",), [20, 1])
+        bank.add(("b",), [5, 1])
+        assert len(bank) == 2
+        snapshot = dict((k, v) for k, v in bank.snapshot())
+        assert snapshot[("a",)] == [30, 2]
+        bank.retract(("b",), [5, 1])
+        assert len(bank) == 1
+
+    def test_snapshot_sorted_by_key(self):
+        bank = GroupedAccumulators(["count"])
+        bank.add((3,), [1])
+        bank.add((1,), [1])
+        bank.add((2,), [1])
+        assert [k for k, __ in bank.snapshot()] == [(1,), (2,), (3,)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(-50, 50)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_windowed_group_sums_match_python(self, rows):
+        bank = GroupedAccumulators(["sum"])
+        window: list = []
+        for key, value in rows:
+            bank.add((key,), [value])
+            window.append((key, value))
+            if len(window) > 7:
+                old_key, old_value = window.pop(0)
+                bank.retract((old_key,), [old_value])
+            expected: dict = {}
+            for k, v in window:
+                expected[k] = expected.get(k, 0) + v
+            got = {k[0]: vals[0] for k, vals in bank.snapshot()}
+            assert got == expected

@@ -1,0 +1,146 @@
+"""Tests for the SystemX tuple-at-a-time engine (vs DataCell results)."""
+
+import numpy as np
+import pytest
+
+from repro import DataCellEngine
+from repro.dsms import SystemX
+from repro.errors import DsmsError
+from repro.kernel.atoms import Atom
+from repro.kernel.storage import Schema
+
+from conftest import assert_rows_equal
+
+
+@pytest.fixture
+def systemx():
+    sx = SystemX()
+    sx.create_stream("s", Schema.of(("x1", Atom.INT), ("x2", Atom.INT)))
+    sx.create_stream("s2", Schema.of(("x1", Atom.INT), ("x2", Atom.INT)))
+    return sx
+
+
+@pytest.fixture
+def datacell():
+    e = DataCellEngine()
+    e.create_stream("s", [("x1", "int"), ("x2", "int")])
+    e.create_stream("s2", [("x1", "int"), ("x2", "int")])
+    return e
+
+
+def random_columns(count, seed, domain=10):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 10, count).astype(np.int64),
+        rng.integers(0, domain, count).astype(np.int64),
+    )
+
+
+def compare(datacell, systemx, sql, feeds, float_tol=1e-9):
+    """Run the same query + data through both engines and diff windows."""
+    dq = datacell.submit(sql)
+    xq = systemx.submit(sql)
+    for stream, (c1, c2) in feeds:
+        datacell.feed(stream, columns={"x1": c1, "x2": c2})
+    datacell.run_until_idle()
+    for stream, (c1, c2) in feeds:
+        systemx.push_many(stream, zip(c1.tolist(), c2.tolist()))
+    dc_rows = dq.result_rows()
+    assert len(dc_rows) == len(xq.results)
+    for a, b in zip(dc_rows, xq.results):
+        assert_rows_equal([tuple(r) for r in a], [tuple(r) for r in b], float_tol)
+    return len(dc_rows)
+
+
+class TestSingleStream:
+    def test_grouped_aggregate(self, datacell, systemx):
+        sql = (
+            "SELECT x1, sum(x2), count(*) FROM s [RANGE 50 SLIDE 10] "
+            "WHERE x1 > 3 GROUP BY x1 ORDER BY x1"
+        )
+        windows = compare(
+            datacell, systemx, sql, [("s", random_columns(150, 31))]
+        )
+        assert windows == 11
+
+    def test_min_max_with_expiry(self, datacell, systemx):
+        sql = "SELECT min(x2), max(x2) FROM s [RANGE 30 SLIDE 10]"
+        compare(datacell, systemx, sql, [("s", random_columns(120, 32, domain=1000))])
+
+    def test_avg(self, datacell, systemx):
+        sql = "SELECT avg(x2) FROM s [RANGE 40 SLIDE 20] WHERE x1 > 5"
+        compare(datacell, systemx, sql, [("s", random_columns(200, 33))])
+
+    def test_select_only(self, datacell, systemx):
+        sql = "SELECT x1, x2 FROM s [RANGE 20 SLIDE 5] WHERE x1 > 7"
+        compare(datacell, systemx, sql, [("s", random_columns(60, 34))])
+
+    def test_having_order_limit(self, datacell, systemx):
+        sql = (
+            "SELECT x1, count(*) FROM s [RANGE 60 SLIDE 30] GROUP BY x1 "
+            "HAVING count(*) > 2 ORDER BY x1 DESC LIMIT 3"
+        )
+        compare(datacell, systemx, sql, [("s", random_columns(240, 35))])
+
+    def test_landmark(self, datacell, systemx):
+        sql = "SELECT sum(x2) FROM s [LANDMARK SLIDE 25]"
+        compare(datacell, systemx, sql, [("s", random_columns(100, 36))])
+
+
+class TestJoins:
+    def test_join_aggregates(self, datacell, systemx):
+        sql = (
+            "SELECT max(s1.x1), avg(s2.x1) FROM s s1 [RANGE 40 SLIDE 10], "
+            "s2 [RANGE 40 SLIDE 10] WHERE s1.x2 = s2.x2 AND s1.x1 > 2"
+        )
+        windows = compare(
+            datacell,
+            systemx,
+            sql,
+            [("s", random_columns(140, 37, 15)), ("s2", random_columns(140, 38, 15))],
+        )
+        assert windows == 11
+
+    def test_join_grouped(self, datacell, systemx):
+        sql = (
+            "SELECT s1.x1, count(*) FROM s s1 [RANGE 30 SLIDE 15], "
+            "s2 [RANGE 30 SLIDE 15] WHERE s1.x2 = s2.x2 GROUP BY s1.x1 ORDER BY s1.x1"
+        )
+        compare(
+            datacell,
+            systemx,
+            sql,
+            [("s", random_columns(90, 39, 6)), ("s2", random_columns(90, 40, 6))],
+        )
+
+    def test_interleaving_does_not_matter(self, systemx):
+        """Pushing all of one stream first must equal strict interleaving."""
+        sql = (
+            "SELECT count(*) FROM s s1 [RANGE 20 SLIDE 10], "
+            "s2 [RANGE 20 SLIDE 10] WHERE s1.x2 = s2.x2"
+        )
+        a1, a2 = random_columns(60, 41, 8)
+        b1, b2 = random_columns(60, 42, 8)
+        q_bulk = systemx.submit(sql)
+        systemx.push_many("s", zip(a1.tolist(), a2.tolist()))
+        systemx.push_many("s2", zip(b1.tolist(), b2.tolist()))
+
+        other = SystemX()
+        other.create_stream("s", Schema.of(("x1", Atom.INT), ("x2", Atom.INT)))
+        other.create_stream("s2", Schema.of(("x1", Atom.INT), ("x2", Atom.INT)))
+        q_inter = other.submit(sql)
+        for la, lb, ra, rb in zip(a1, a2, b1, b2):
+            other.push("s", (int(la), int(lb)))
+            other.push("s2", (int(ra), int(rb)))
+        assert q_bulk.results == q_inter.results
+
+
+class TestLimitsAndErrors:
+    def test_time_based_rejected(self, systemx):
+        with pytest.raises(DsmsError):
+            systemx.submit("SELECT count(*) FROM s [RANGE 10 SECONDS SLIDE 5 SECONDS]")
+
+    def test_tuples_processed_counter(self, systemx):
+        query = systemx.submit("SELECT count(*) FROM s [RANGE 10 SLIDE 5]")
+        systemx.push_many("s", [(i, i) for i in range(30)])
+        assert query.tuples_processed == 30

@@ -1,0 +1,137 @@
+"""Unit tests for programs, the interpreter, and the profiler."""
+
+import pytest
+
+from repro.errors import ExecutionError, UnknownInstructionError
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.kernel.execution import (
+    Interpreter,
+    Lit,
+    Profiler,
+    Program,
+    Ref,
+    SlotNames,
+    TAG_MERGE,
+    known_opcodes,
+)
+
+from conftest import int_bat
+
+
+class TestProgram:
+    def test_emit_and_pretty(self):
+        program = Program(inputs=("x",), outputs=("y",))
+        program.emit("bat.id", [Ref("x")], ["y"])
+        text = program.pretty()
+        assert "bat.id" in text
+        assert "inputs: x" in text
+
+    def test_validate_def_before_use(self):
+        program = Program(inputs=(), outputs=())
+        program.emit("bat.id", [Ref("ghost")], ["y"])
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_validate_missing_output(self):
+        program = Program(inputs=("x",), outputs=("never",))
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_slots_read_written(self):
+        program = Program(inputs=("x",))
+        program.emit("bat.id", [Ref("x")], ["y"])
+        assert program.slots_read() == {"x"}
+        assert program.slots_written() == {"y"}
+
+    def test_slot_names_unique(self):
+        names = SlotNames("t")
+        a, b = names.fresh(), names.fresh("hint")
+        assert a != b
+        assert b.endswith("_hint")
+
+
+class TestInterpreter:
+    def test_single_output(self):
+        program = Program(inputs=("x",), outputs=("out",))
+        program.emit("algebra.thetaselect", [Ref("x"), Lit(2), Lit(">")], ["out"])
+        result = Interpreter().run(program, {"x": int_bat([1, 3, 5])})
+        assert result["out"].to_list() == [1, 2]
+
+    def test_multi_output(self):
+        program = Program(inputs=("x",), outputs=("gids", "ext"))
+        program.emit("group.group", [Ref("x")], ["gids", "ext", "ng"])
+        result = Interpreter().run(program, {"x": int_bat([2, 1, 2])})
+        assert result["gids"].to_list() == [1, 0, 1]
+
+    def test_missing_input(self):
+        program = Program(inputs=("x",), outputs=())
+        with pytest.raises(ExecutionError):
+            Interpreter().run(program, {})
+
+    def test_unknown_opcode(self):
+        program = Program(inputs=(), outputs=())
+        program.emit("no.such.op", [], ["y"])
+        with pytest.raises(UnknownInstructionError):
+            Interpreter().run(program, {})
+
+    def test_undefined_slot_mid_program(self):
+        program = Program(inputs=(), outputs=())
+        program.emit("bat.id", [Ref("ghost")], ["y"])
+        with pytest.raises(ExecutionError):
+            Interpreter().run(program, {})
+
+    def test_operator_failure_wrapped(self):
+        program = Program(inputs=("x",), outputs=("y",))
+        program.emit("algebra.thetaselect", [Ref("x"), Lit(1), Lit("!!")], ["y"])
+        with pytest.raises(ExecutionError):
+            Interpreter().run(program, {"x": int_bat([1])})
+
+    def test_known_opcodes_cover_calc_family(self):
+        ops = known_opcodes()
+        for op in ("calc.+", "calc.==", "calc.div", "mat.pack", "aggr.subsum"):
+            assert op in ops
+
+    def test_aggr_align_empties_all(self):
+        program = Program(inputs=("a", "b"), outputs=("x", "y"))
+        program.emit("aggr.align", [Ref("a"), Ref("b")], ["x", "y"])
+        result = Interpreter().run(
+            program, {"a": int_bat([5]), "b": BAT.empty(Atom.INT)}
+        )
+        assert result["x"].to_list() == []
+        assert result["y"].to_list() == []
+
+    def test_aggr_align_passthrough(self):
+        program = Program(inputs=("a", "b"), outputs=("x", "y"))
+        program.emit("aggr.align", [Ref("a"), Ref("b")], ["x", "y"])
+        result = Interpreter().run(program, {"a": int_bat([5]), "b": int_bat([6])})
+        assert result["x"].to_list() == [5]
+        assert result["y"].to_list() == [6]
+
+
+class TestProfiler:
+    def test_records_by_tag(self):
+        program = Program(inputs=("x",), outputs=("y",))
+        program.emit("bat.id", [Ref("x")], ["m"])
+        program.emit("bat.id", [Ref("m")], ["y"], tag=TAG_MERGE)
+        profiler = Profiler()
+        Interpreter().run(program, {"x": int_bat([1])}, profiler)
+        assert profiler.calls["bat.id"] == 2
+        assert set(profiler.by_tag) == {"main", "merge"}
+        assert profiler.total > 0
+
+    def test_merge_from(self):
+        a, b = Profiler(), Profiler()
+        a.record("main", "op", 1.0)
+        b.record("main", "op", 2.0)
+        b.record("merge", "op2", 3.0)
+        a.merge_from(b)
+        assert a.by_tag["main"] == pytest.approx(3.0)
+        assert a.by_tag["merge"] == pytest.approx(3.0)
+        assert a.calls["op"] == 2
+
+    def test_reset(self):
+        p = Profiler()
+        p.record("main", "op", 1.0)
+        p.reset()
+        assert p.total == 0.0

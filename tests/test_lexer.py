@@ -1,0 +1,92 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.text) for t in tokenize(sql)[:-1]]  # drop eof
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [("keyword", "select")] * 3
+
+    def test_identifiers(self):
+        assert kinds("foo _bar x1") == [
+            ("ident", "foo"),
+            ("ident", "_bar"),
+            ("ident", "x1"),
+        ]
+
+    def test_integers_and_floats(self):
+        assert kinds("1 23 4.5 1e3 2.5e-2") == [
+            ("number", "1"),
+            ("number", "23"),
+            ("number", "4.5"),
+            ("number", "1e3"),
+            ("number", "2.5e-2"),
+        ]
+
+    def test_qualified_name_not_a_float(self):
+        # "s1.x1" must lex as ident dot ident, not a number.
+        assert kinds("s1.x1") == [
+            ("ident", "s1"),
+            ("punct", "."),
+            ("ident", "x1"),
+        ]
+
+    def test_strings(self):
+        assert kinds("'hello' 'it''s'") == [
+            ("string", "hello"),
+            ("string", "it's"),
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_operators_maximal_munch(self):
+        assert kinds("<= >= <> != = < >") == [
+            ("op", "<="),
+            ("op", ">="),
+            ("op", "<>"),
+            ("op", "!="),
+            ("op", "="),
+            ("op", "<"),
+            ("op", ">"),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , [ ] ;") == [
+            ("punct", "("),
+            ("punct", ")"),
+            ("punct", ","),
+            ("punct", "["),
+            ("punct", "]"),
+            ("punct", ";"),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("select -- comment here\n x") == [
+            ("keyword", "select"),
+            ("ident", "x"),
+        ]
+
+    def test_minus_is_operator(self):
+        assert kinds("a - 1") == [("ident", "a"), ("op", "-"), ("number", "1")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"
+
+    def test_positions(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

@@ -1,0 +1,81 @@
+"""Unit tests for the rule-based optimizer."""
+
+import pytest
+
+from repro.sql.ast import BinOp, ColumnRef, Literal
+from repro.sql.logical import LFilter, LProject, LScan, find_scans
+from repro.sql.optimizer import optimize
+from repro.sql.optimizer.rules import fold_constants, fuse_filters
+from repro.sql.parser import parse_expression
+from repro.sql.planner import plan_query
+
+
+class TestConstantFolding:
+    def test_arithmetic(self):
+        assert fold_constants(parse_expression("2 * 10 + 1")) == Literal(21)
+
+    def test_comparison(self):
+        assert fold_constants(parse_expression("2 < 3")) == Literal(True)
+
+    def test_boolean(self):
+        assert fold_constants(parse_expression("true and false")) == Literal(False)
+
+    def test_unary(self):
+        assert fold_constants(parse_expression("-(2 + 3)")) == Literal(-5)
+        assert fold_constants(parse_expression("not true")) == Literal(False)
+
+    def test_partial_fold(self):
+        folded = fold_constants(parse_expression("x + (2 * 3)"))
+        assert folded == BinOp("+", ColumnRef(None, "x"), Literal(6))
+
+    def test_division_by_zero_left_alone(self):
+        expr = parse_expression("1 / 0")
+        assert fold_constants(expr) == expr
+
+    def test_folds_inside_plans(self, catalog):
+        planned = optimize(plan_query("SELECT x1 FROM s WHERE x1 > 2 + 3", catalog))
+        filt = planned.plan.child
+        assert isinstance(filt, LFilter)
+        assert filt.predicate == BinOp(">", ColumnRef(None, "x1"), Literal(5))
+
+
+class TestFilterFusion:
+    def test_stacked_filters_merge(self, catalog):
+        planned = plan_query("SELECT x1 FROM s WHERE x1 > 1 AND x1 < 9", catalog)
+        # force a stacked shape, then fuse
+        inner = planned.plan.child
+        assert isinstance(inner, LFilter)
+        stacked = LFilter(inner, parse_expression("x1 != 5"))
+        fused = fuse_filters(stacked)
+        assert isinstance(fused, LFilter)
+        assert not isinstance(fused.child, LFilter)
+
+
+class TestProjectionPruning:
+    def test_unused_columns_dropped(self, catalog):
+        planned = optimize(plan_query("SELECT x1 FROM s WHERE x1 > 2", catalog))
+        scan = find_scans(planned.plan)[0]
+        assert scan.needed == ["x1"]
+        assert [name for name, __ in scan.output_columns()] == ["x1"]
+
+    def test_all_referenced_columns_kept(self, catalog):
+        planned = optimize(
+            plan_query("SELECT x1 FROM s WHERE x2 > 2 ORDER BY x1", catalog)
+        )
+        scan = find_scans(planned.plan)[0]
+        assert set(scan.needed) == {"x1", "x2"}
+
+    def test_join_keys_kept(self, catalog):
+        planned = optimize(
+            plan_query(
+                "SELECT max(s1.x1) FROM s s1, s2 WHERE s1.x2 = s2.x2", catalog
+            )
+        )
+        by_alias = {scan.alias: scan for scan in find_scans(planned.plan)}
+        assert set(by_alias["s1"].needed) == {"x1", "x2"}
+        assert set(by_alias["s2"].needed) == {"x2"}
+
+    def test_count_star_keeps_no_columns(self, catalog):
+        planned = optimize(plan_query("SELECT count(*) FROM s", catalog))
+        scan = find_scans(planned.plan)[0]
+        assert scan.needed == []

@@ -1,0 +1,156 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    UnaryOp,
+    WindowClause,
+)
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectList:
+    def test_simple_columns(self):
+        q = parse("SELECT a, b FROM t")
+        assert [item.expr for item in q.select_items] == [
+            ColumnRef(None, "a"),
+            ColumnRef(None, "b"),
+        ]
+
+    def test_aliases(self):
+        q = parse("SELECT a AS x, b y FROM t")
+        assert q.select_items[0].alias == "x"
+        assert q.select_items[1].alias == "y"
+
+    def test_output_names(self):
+        q = parse("SELECT a, sum(b), a+1 AS z FROM t")
+        assert q.select_items[0].output_name(0) == "a"
+        assert q.select_items[1].output_name(1) == "col1"
+        assert q.select_items[2].output_name(2) == "z"
+
+    def test_aggregates(self):
+        q = parse("SELECT sum(a), count(*), avg(a+b) FROM t")
+        first = q.select_items[0].expr
+        assert isinstance(first, FuncCall) and first.name == "sum"
+        star = q.select_items[1].expr
+        assert star.star
+        assert isinstance(q.select_items[2].expr.args[0], BinOp)
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_comparison_normalization(self):
+        assert parse_expression("a = 1").op == "=="
+        assert parse_expression("a <> 1").op == "!="
+
+    def test_and_or_precedence(self):
+        e = parse_expression("a > 1 or b > 2 and c > 3")
+        assert e.op == "or"
+        assert e.right.op == "and"
+
+    def test_not(self):
+        e = parse_expression("not a > 1")
+        assert isinstance(e, UnaryOp) and e.op == "not"
+
+    def test_unary_minus(self):
+        e = parse_expression("-a * 2")
+        assert e.op == "*"
+        assert isinstance(e.left, UnaryOp)
+
+    def test_parentheses(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_literals(self):
+        assert parse_expression("1.5") == Literal(1.5)
+        assert parse_expression("'x'") == Literal("x")
+        assert parse_expression("true") == Literal(True)
+        assert parse_expression("null") == Literal(None)
+
+    def test_qualified_columns(self):
+        assert parse_expression("s1.x2") == ColumnRef("s1", "x2")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + ")
+
+
+class TestFromClause:
+    def test_alias(self):
+        q = parse("SELECT a FROM stream s1")
+        assert q.tables[0].name == "stream"
+        assert q.tables[0].alias == "s1"
+
+    def test_two_tables(self):
+        q = parse("SELECT a FROM s1, s2 WHERE s1.a = s2.a")
+        assert len(q.tables) == 2
+
+    def test_sliding_window(self):
+        q = parse("SELECT a FROM s [RANGE 100 SLIDE 10]")
+        w = q.tables[0].window
+        assert w == WindowClause("sliding", 100, 10, False)
+
+    def test_tumbling_window(self):
+        assert parse("SELECT a FROM s [RANGE 50]").tables[0].window.kind == "tumbling"
+        assert (
+            parse("SELECT a FROM s [RANGE 50 SLIDE 50]").tables[0].window.kind
+            == "tumbling"
+        )
+
+    def test_landmark_window(self):
+        w = parse("SELECT a FROM s [LANDMARK SLIDE 10]").tables[0].window
+        assert w.kind == "landmark"
+        assert w.size is None
+        assert w.step == 10
+
+    def test_time_based_window(self):
+        w = parse("SELECT a FROM s [RANGE 10 SECONDS SLIDE 2 SECONDS]").tables[0].window
+        assert w.time_based
+        assert w.size == 10_000_000
+        assert w.step == 2_000_000
+
+    def test_time_unit_mismatch(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM s [RANGE 10 SECONDS SLIDE 5]")
+
+
+class TestClauses:
+    def test_full_query(self):
+        q = parse(
+            "SELECT x1, sum(x2) FROM s [RANGE 100 SLIDE 10] WHERE x1 > 5 "
+            "GROUP BY x1 HAVING sum(x2) > 10 ORDER BY x1 DESC LIMIT 3;"
+        )
+        assert q.where is not None
+        assert len(q.group_by) == 1
+        assert q.having is not None
+        assert q.order_by[0].descending
+        assert q.limit == 3
+
+    def test_order_default_asc(self):
+        q = parse("SELECT a FROM t ORDER BY a")
+        assert not q.order_by[0].descending
+
+    def test_multi_group_by(self):
+        q = parse("SELECT a, b, count(*) FROM t GROUP BY a, b")
+        assert len(q.group_by) == 2
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1")
+
+    def test_garbage_after_query(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t banana extra")

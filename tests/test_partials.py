@@ -1,0 +1,93 @@
+"""Unit tests for partial-result stores (the transition machinery)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.core.partials import PairStore, PartialStore
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+
+
+def bundle(value):
+    return {"flow": BAT.from_values([value], Atom.INT)}
+
+
+class TestPartialStore:
+    def test_add_and_live(self):
+        store = PartialStore(capacity=3)
+        for i in range(3):
+            assert store.add(bundle(i)) == i
+        assert [seq for seq, __ in store.live()] == [0, 1, 2]
+
+    def test_eviction_is_the_transition(self):
+        """Adding past capacity drops the oldest — Algorithm 2 lines 20-21."""
+        store = PartialStore(capacity=3)
+        for i in range(5):
+            store.add(bundle(i))
+        live = store.live()
+        assert [seq for seq, __ in live] == [2, 3, 4]
+        assert [b["flow"].to_list()[0] for __, b in live] == [2, 3, 4]
+
+    def test_unbounded(self):
+        store = PartialStore(capacity=0)
+        for i in range(10):
+            store.add(bundle(i))
+        assert len(store) == 10
+
+    def test_bundle_lookup(self):
+        store = PartialStore(capacity=2)
+        store.add(bundle(0))
+        store.add(bundle(1))
+        assert store.bundle(1)["flow"].to_list() == [1]
+        store.add(bundle(2))
+        with pytest.raises(SchedulerError):
+            store.bundle(0)
+
+    def test_replace_all_keeps_newest_seq(self):
+        store = PartialStore(capacity=0)
+        store.add(bundle(0))
+        store.add(bundle(1))
+        store.replace_all(bundle(99))
+        assert len(store) == 1
+        assert store.newest_seq == 1
+        next_seq = store.add(bundle(2))
+        assert next_seq == 2
+
+    def test_replace_all_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            PartialStore(capacity=1).replace_all(bundle(0))
+
+    def test_newest_seq_empty(self):
+        assert PartialStore(capacity=1).newest_seq is None
+
+
+class TestPairStore:
+    def test_expire_either_side(self):
+        store = PairStore(left_capacity=2, right_capacity=2)
+        for left in range(3):
+            for right in range(3):
+                store.add(left, right, bundle(left * 10 + right))
+        store.expire(newest_left=2, newest_right=2)
+        live_keys = [key for key, __ in store.live()]
+        assert live_keys == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_unbounded_side_never_expires(self):
+        store = PairStore(left_capacity=2, right_capacity=0)
+        store.add(0, 0, bundle(0))
+        store.add(5, 0, bundle(1))
+        store.expire(newest_left=5, newest_right=0)
+        assert [key for key, __ in store.live()] == [(5, 0)]
+
+    def test_live_sorted(self):
+        store = PairStore(left_capacity=0, right_capacity=0)
+        store.add(1, 0, bundle(0))
+        store.add(0, 1, bundle(1))
+        assert [key for key, __ in store.live()] == [(0, 1), (1, 0)]
+
+    def test_replace_all(self):
+        store = PairStore(left_capacity=0, right_capacity=0)
+        store.add(0, 0, bundle(1))
+        store.add(0, 1, bundle(2))
+        store.replace_all(bundle(9), key=(0, 1))
+        assert len(store) == 1
+        assert store.live()[0][0] == (0, 1)

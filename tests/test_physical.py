@@ -1,0 +1,193 @@
+"""Unit tests for the physical compiler: compile plans, run, compare."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.kernel.execution import Interpreter
+from repro.sql.optimizer import optimize
+from repro.sql.physical import compile_full, scan_slot
+from repro.sql.planner import plan_query
+
+from conftest import assert_rows_equal
+
+
+def run_query(catalog, sql, inputs):
+    """Compile + execute ``sql`` over named input columns."""
+    planned = optimize(plan_query(sql, catalog))
+    compiled = compile_full(planned)
+    bats = {}
+    for alias, columns in compiled.scan_inputs.items():
+        for column, slot in columns.items():
+            bats[slot] = BAT.from_array(np.asarray(inputs[alias][column]))
+    outputs = Interpreter().run(compiled.program, bats)
+    cols = [outputs[slot].to_list() for slot in compiled.output_slots]
+    return compiled.output_names, list(zip(*cols)) if cols else []
+
+
+@pytest.fixture
+def data():
+    return {
+        "s": {
+            "x1": np.array([5, 1, 8, 5, 3, 9], dtype=np.int64),
+            "x2": np.array([10, 20, 30, 40, 50, 60], dtype=np.int64),
+        },
+        "s1": {
+            "x1": np.array([5, 1, 8], dtype=np.int64),
+            "x2": np.array([2, 3, 4], dtype=np.int64),
+        },
+        "s2": {
+            "x1": np.array([7, 6], dtype=np.int64),
+            "x2": np.array([4, 2], dtype=np.int64),
+        },
+    }
+
+
+class TestSelectProject:
+    def test_filter_and_project(self, catalog, data):
+        names, rows = run_query(
+            catalog, "SELECT x1, x2 FROM s WHERE x1 > 4", data
+        )
+        assert names == ["x1", "x2"]
+        assert rows == [(5, 10), (8, 30), (5, 40), (9, 60)]
+
+    def test_computed_projection(self, catalog, data):
+        __, rows = run_query(catalog, "SELECT x1 * 2 + 1 FROM s WHERE x1 < 4", data)
+        assert rows == [(3,), (7,)]
+
+    def test_constant_projection(self, catalog, data):
+        __, rows = run_query(catalog, "SELECT 7 FROM s WHERE x1 > 8", data)
+        assert rows == [(7,)]
+
+    def test_conjunctive_filter(self, catalog, data):
+        __, rows = run_query(
+            catalog, "SELECT x2 FROM s WHERE x1 > 2 AND x1 < 6 AND x2 > 15", data
+        )
+        assert rows == [(40,), (50,)]
+
+    def test_or_predicate(self, catalog, data):
+        __, rows = run_query(
+            catalog, "SELECT x1 FROM s WHERE x1 = 1 OR x1 = 9", data
+        )
+        assert rows == [(1,), (9,)]
+
+    def test_expression_predicate(self, catalog, data):
+        __, rows = run_query(catalog, "SELECT x1 FROM s WHERE x1 + x2 > 48", data)
+        assert rows == [(3,), (9,)]
+
+
+class TestAggregates:
+    def test_grouped(self, catalog, data):
+        __, rows = run_query(
+            catalog,
+            "SELECT x1, sum(x2), count(*) FROM s GROUP BY x1 ORDER BY x1",
+            data,
+        )
+        assert rows == [(1, 20, 1), (3, 50, 1), (5, 50, 2), (8, 30, 1), (9, 60, 1)]
+
+    def test_grouped_avg_min_max(self, catalog, data):
+        __, rows = run_query(
+            catalog,
+            "SELECT x1, avg(x2), min(x2), max(x2) FROM s GROUP BY x1 ORDER BY x1",
+            data,
+        )
+        assert_rows_equal(
+            rows,
+            [
+                (1, 20.0, 20, 20),
+                (3, 50.0, 50, 50),
+                (5, 25.0, 10, 40),
+                (8, 30.0, 30, 30),
+                (9, 60.0, 60, 60),
+            ],
+        )
+
+    def test_global(self, catalog, data):
+        __, rows = run_query(
+            catalog, "SELECT min(x1), max(x1), sum(x2), avg(x2), count(*) FROM s", data
+        )
+        assert_rows_equal(rows, [(1, 9, 210, 35.0, 6)])
+
+    def test_global_empty_selection(self, catalog, data):
+        __, rows = run_query(
+            catalog, "SELECT max(x1), sum(x2) FROM s WHERE x1 > 100", data
+        )
+        assert rows == []
+
+    def test_count_only_empty_is_zero(self, catalog, data):
+        __, rows = run_query(catalog, "SELECT count(*) FROM s WHERE x1 > 100", data)
+        assert rows == [(0,)]
+
+    def test_having(self, catalog, data):
+        __, rows = run_query(
+            catalog,
+            "SELECT x1, count(*) FROM s GROUP BY x1 HAVING count(*) > 1",
+            data,
+        )
+        assert rows == [(5, 2)]
+
+    def test_expression_over_aggregates(self, catalog, data):
+        __, rows = run_query(
+            catalog, "SELECT sum(x2) / count(*) FROM s WHERE x1 = 5", data
+        )
+        assert_rows_equal(rows, [(25.0,)])
+
+    def test_group_by_expression(self, catalog, data):
+        __, rows = run_query(
+            catalog,
+            "SELECT x1 % 2, count(*) FROM s GROUP BY x1 % 2 ORDER BY x1 % 2",
+            data,
+        )
+        assert rows == [(0, 1), (1, 5)]
+
+
+class TestJoin:
+    def test_join_aggregate(self, catalog, data):
+        __, rows = run_query(
+            catalog,
+            "SELECT max(s1.x1), avg(s2.x1) FROM s s1, s2 WHERE s1.x2 = s2.x2",
+            {"s1": data["s1"], "s2": data["s2"]},
+        )
+        # matches: s1 rows with x2 in {4,2}: (5,2)-(6), (8,4)-(7)
+        assert_rows_equal(rows, [(8, 6.5)])
+
+    def test_join_select_only(self, catalog, data):
+        __, rows = run_query(
+            catalog,
+            "SELECT s1.x1, s2.x1 FROM s s1, s2 WHERE s1.x2 = s2.x2 ORDER BY s1.x1",
+            {"s1": data["s1"], "s2": data["s2"]},
+        )
+        assert rows == [(5, 6), (8, 7)]
+
+    def test_join_with_residual(self, catalog, data):
+        __, rows = run_query(
+            catalog,
+            "SELECT count(*) FROM s s1, s2 WHERE s1.x2 = s2.x2 AND s1.x1 > s2.x1",
+            {"s1": data["s1"], "s2": data["s2"]},
+        )
+        assert rows == [(1,)]
+
+
+class TestTopOperators:
+    def test_distinct(self, catalog, data):
+        __, rows = run_query(catalog, "SELECT DISTINCT x1 FROM s", data)
+        assert rows == [(1,), (3,), (5,), (8,), (9,)]
+
+    def test_order_desc_limit(self, catalog, data):
+        __, rows = run_query(
+            catalog, "SELECT x1 FROM s ORDER BY x1 DESC LIMIT 3", data
+        )
+        assert rows == [(9,), (8,), (5,)]
+
+    def test_multi_key_order(self, catalog, data):
+        __, rows = run_query(
+            catalog, "SELECT x1, x2 FROM s ORDER BY x1, x2 DESC", data
+        )
+        assert rows == [(1, 20), (3, 50), (5, 40), (5, 10), (8, 30), (9, 60)]
+
+    def test_program_validates(self, catalog, data):
+        planned = optimize(plan_query("SELECT x1, sum(x2) FROM s GROUP BY x1", catalog))
+        compiled = compile_full(planned)
+        compiled.program.validate()  # no raise
+        assert scan_slot("s", "x1") in compiled.program.inputs

@@ -1,0 +1,179 @@
+"""Unit tests for the logical planner."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.kernel.atoms import Atom
+from repro.sql.ast import BinOp, ColumnRef, Literal
+from repro.sql.logical import (
+    LAggregate,
+    LDistinct,
+    LFilter,
+    LJoin,
+    LLimit,
+    LOrder,
+    LProject,
+    LScan,
+    find_scans,
+    pretty_plan,
+    stream_scans,
+)
+from repro.sql.planner import and_together, plan_query, split_conjuncts
+
+
+class TestConjunctUtilities:
+    def test_split(self):
+        expr = BinOp(
+            "and",
+            BinOp("and", Literal(True), Literal(False)),
+            Literal(True),
+        )
+        assert len(split_conjuncts(expr)) == 3
+        assert split_conjuncts(None) == []
+
+    def test_and_together_roundtrip(self):
+        parts = [Literal(1), Literal(2), Literal(3)]
+        rebuilt = and_together(parts)
+        assert split_conjuncts(rebuilt) == parts
+        assert and_together([]) is None
+
+
+class TestSingleStreamPlans:
+    def test_select_only(self, catalog):
+        planned = plan_query("SELECT x1, x1 + x2 FROM s WHERE x1 > 3", catalog)
+        plan = planned.plan
+        assert isinstance(plan, LProject)
+        assert isinstance(plan.child, LFilter)
+        assert isinstance(plan.child.child, LScan)
+
+    def test_grouped_aggregate(self, catalog):
+        planned = plan_query(
+            "SELECT x1, sum(x2) FROM s WHERE x1 > 3 GROUP BY x1", catalog
+        )
+        project = planned.plan
+        assert isinstance(project, LProject)
+        agg = project.child
+        assert isinstance(agg, LAggregate)
+        assert agg.aggs[0].func == "sum"
+        assert agg.key_atoms == [Atom.INT]
+        # select items rewritten to synthetic columns
+        assert project.items[0][0] == ColumnRef(None, "key_0")
+        assert project.items[1][0] == ColumnRef(None, "agg_0")
+
+    def test_global_aggregate(self, catalog):
+        planned = plan_query("SELECT max(x1), avg(x2) FROM s", catalog)
+        agg = planned.plan.child
+        assert isinstance(agg, LAggregate)
+        assert agg.keys == []
+        assert [a.func for a in agg.aggs] == ["max", "avg"]
+
+    def test_duplicate_aggregates_shared(self, catalog):
+        planned = plan_query("SELECT sum(x2), sum(x2) + 1 FROM s", catalog)
+        agg = planned.plan.child
+        assert len(agg.aggs) == 1
+
+    def test_having_becomes_filter(self, catalog):
+        planned = plan_query(
+            "SELECT x1 FROM s GROUP BY x1 HAVING count(*) > 2", catalog
+        )
+        assert isinstance(planned.plan, LProject)
+        having = planned.plan.child
+        assert isinstance(having, LFilter)
+        assert isinstance(having.child, LAggregate)
+        # count(*) was added as a hidden aggregate
+        assert having.child.aggs[0].func == "count"
+
+    def test_order_limit_distinct(self, catalog):
+        planned = plan_query(
+            "SELECT DISTINCT x1 FROM s ORDER BY x1 DESC LIMIT 5", catalog
+        )
+        limit = planned.plan
+        assert isinstance(limit, LLimit) and limit.count == 5
+        order = limit.child
+        assert isinstance(order, LOrder) and order.keys == [("x1", True)]
+        assert isinstance(order.child, LDistinct)
+
+    def test_order_by_aggregate(self, catalog):
+        planned = plan_query(
+            "SELECT x1, sum(x2) AS t FROM s GROUP BY x1 ORDER BY t DESC", catalog
+        )
+        order = planned.plan
+        assert isinstance(order, LOrder)
+        assert order.keys == [("t", True)]
+
+    def test_order_by_unprojected_expression_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            plan_query("SELECT x1 FROM s ORDER BY x2", catalog)
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            plan_query("SELECT x2, sum(x1) FROM s GROUP BY x1", catalog)
+
+    def test_having_without_grouping_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            plan_query("SELECT x1 FROM s HAVING x1 > 2", catalog)
+
+
+class TestJoinPlans:
+    def test_join_structure(self, catalog):
+        planned = plan_query(
+            "SELECT max(s1.x1) FROM s s1, s2 WHERE s1.x2 = s2.x2 AND s1.x1 > 2",
+            catalog,
+        )
+        agg = planned.plan.child
+        join = agg.child
+        assert isinstance(join, LJoin)
+        # pushed-down selection sits on the left side
+        assert isinstance(join.left, LFilter)
+        assert isinstance(join.right, LScan)
+        assert join.left_key == ColumnRef("s1", "x2")
+
+    def test_join_key_orientation_swapped(self, catalog):
+        planned = plan_query(
+            "SELECT max(s1.x1) FROM s s1, s2 WHERE s2.x2 = s1.x2", catalog
+        )
+        join = planned.plan.child.child
+        assert planned.binding.resolve(join.left_key).alias == "s1"
+
+    def test_residual_predicate_above_join(self, catalog):
+        planned = plan_query(
+            "SELECT count(*) FROM s s1, s2 "
+            "WHERE s1.x2 = s2.x2 AND s1.x1 > s2.x1",
+            catalog,
+        )
+        agg = planned.plan.child
+        residual = agg.child
+        assert isinstance(residual, LFilter)
+        assert isinstance(residual.child, LJoin)
+
+    def test_missing_join_predicate_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            plan_query("SELECT count(*) FROM s s1, s2 WHERE s1.x1 > 2", catalog)
+
+    def test_three_relations_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            plan_query(
+                "SELECT count(*) FROM s a, s2 b, t c "
+                "WHERE a.x1 = b.x1 AND b.x1 = c.k",
+                catalog,
+            )
+
+
+class TestPlanHelpers:
+    def test_find_scans_and_streams(self, catalog):
+        planned = plan_query(
+            "SELECT count(*) FROM s s1, ref WHERE s1.x2 = ref.x2", catalog
+        )
+        scans = find_scans(planned.plan)
+        assert {s.alias for s in scans} == {"s1", "ref"}
+        assert [s.alias for s in stream_scans(planned.plan)] == ["s1"]
+
+    def test_pretty_plan_mentions_operators(self, catalog):
+        planned = plan_query(
+            "SELECT x1, sum(x2) FROM s WHERE x1 > 3 GROUP BY x1", catalog
+        )
+        text = pretty_plan(planned.plan)
+        assert "Project" in text
+        assert "Aggregate" in text
+        assert "Filter" in text
+        assert "Scan[stream]" in text

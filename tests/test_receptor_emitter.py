@@ -1,0 +1,122 @@
+"""Tests for receptors (threaded and synchronous ingest)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.basket import Basket
+from repro.core.receptor import Receptor
+from repro.errors import StreamError
+from repro.kernel.atoms import Atom
+from repro.kernel.storage import Schema
+
+
+@pytest.fixture
+def basket():
+    return Basket("b", Schema.of(("x1", Atom.INT), ("x2", Atom.INT)))
+
+
+class TestSynchronousPush:
+    def test_push_rows(self, basket):
+        receptor = Receptor(basket)
+        assert receptor.push_rows([(1, 2), (3, 4)]) == 2
+        assert receptor.delivered == 2
+        assert basket.count == 2
+
+    def test_push_columns(self, basket):
+        receptor = Receptor(basket)
+        receptor.push_columns({"x1": np.arange(5), "x2": np.arange(5)})
+        assert basket.count == 5
+
+
+class TestThreadedIngest:
+    def test_background_source_drained(self, basket):
+        receptor = Receptor(basket, batch_size=16)
+        source = iter([(i, i * 2) for i in range(100)])
+        receptor.start(source)
+        receptor.join(timeout=5.0)
+        assert basket.count == 100
+        assert receptor.delivered == 100
+
+    def test_on_batch_callback(self, basket):
+        receptor = Receptor(basket, batch_size=10)
+        batches = []
+        receptor.start(iter([(i, i) for i in range(25)]), on_batch=batches.append)
+        receptor.join(timeout=5.0)
+        assert sum(batches) == 25
+        assert len(batches) == 3  # 10 + 10 + 5
+
+    def test_double_start_rejected(self, basket):
+        receptor = Receptor(basket)
+
+        def slow():
+            for i in range(1000):
+                time.sleep(0.001)
+                yield (i, i)
+
+        receptor.start(slow())
+        try:
+            with pytest.raises(StreamError):
+                receptor.start(iter([]))
+        finally:
+            receptor.stop()
+
+    def test_stop_interrupts(self, basket):
+        receptor = Receptor(basket, batch_size=1)
+
+        def endless():
+            i = 0
+            while True:
+                time.sleep(0.0005)
+                yield (i, i)
+                i += 1
+
+        receptor.start(endless())
+        time.sleep(0.05)
+        receptor.stop()
+        count_after_stop = basket.count
+        time.sleep(0.05)
+        assert basket.count == count_after_stop  # no more arrivals
+
+
+class TestCsvEmitter:
+    def test_rows_written_with_header(self, tmp_path):
+        import numpy as np
+
+        from repro import DataCellEngine
+        from repro.core.emitter import CsvEmitter
+
+        engine = DataCellEngine()
+        engine.create_stream("s", [("x1", "int"), ("x2", "int")])
+        query = engine.submit(
+            "SELECT x1, count(*) FROM s [RANGE 20 SLIDE 10] GROUP BY x1 ORDER BY x1"
+        )
+        path = tmp_path / "out.csv"
+        with CsvEmitter(path) as emitter:
+            engine.scheduler.add_sink(query.name, emitter)
+            rng = np.random.default_rng(1)
+            engine.feed("s", columns={"x1": rng.integers(0, 3, 40),
+                                      "x2": rng.integers(0, 9, 40)})
+            engine.run_until_idle()
+            assert emitter.rows_written > 0
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "window,x1,col1"
+        # every data line starts with a window index and has 3 fields
+        assert all(len(line.split(",")) == 3 for line in lines[1:])
+        windows = {line.split(",")[0] for line in lines[1:]}
+        assert windows == {"1", "2", "3"}
+
+    def test_no_header_mode(self, tmp_path):
+        from repro.core.emitter import CsvEmitter
+        from repro.core.factory import ResultBatch
+        from repro.kernel.atoms import Atom
+        from repro.kernel.bat import BAT
+
+        path = tmp_path / "raw.csv"
+        with CsvEmitter(path, write_header=False) as emitter:
+            batch = ResultBatch(
+                ["a"], {"a": BAT.from_values([7], Atom.INT)}, 1, 0.0
+            )
+            emitter("f", batch)
+        assert path.read_text() == "1,7\n"

@@ -1,0 +1,91 @@
+"""Unit tests for the DataCellR re-evaluation baseline internals."""
+
+import numpy as np
+import pytest
+
+from repro import DataCellEngine
+from repro.core.reevaluate import ReevalFactory, _WindowBuffer
+from repro.core.windows import WindowSpec
+from repro.errors import SchedulerError, UnsupportedQueryError
+from repro.kernel.atoms import Atom
+from repro.sql.optimizer import optimize
+from repro.sql.planner import plan_query
+
+
+@pytest.fixture
+def engine():
+    e = DataCellEngine()
+    e.create_stream("s", [("x1", "int"), ("x2", "int")])
+    return e
+
+
+class TestWindowBuffer:
+    def test_count_based_trim_keeps_last_window(self):
+        buffer = _WindowBuffer([("a", Atom.INT)], WindowSpec.sliding(5, 1))
+        buffer.append({"a": np.arange(8, dtype=np.int64)}, None)
+        buffer.trim()
+        assert len(buffer) == 5
+        assert buffer.snapshot()["a"].to_list() == [3, 4, 5, 6, 7]
+
+    def test_landmark_never_trims(self):
+        buffer = _WindowBuffer([("a", Atom.INT)], WindowSpec.landmark(2))
+        buffer.append({"a": np.arange(100, dtype=np.int64)}, None)
+        buffer.trim()
+        assert len(buffer) == 100
+
+    def test_time_based_trim_by_boundary(self):
+        buffer = _WindowBuffer(
+            [("a", Atom.INT)], WindowSpec.time_sliding(40, 10)
+        )
+        ts = np.array([0, 15, 25, 45], dtype=np.int64)
+        buffer.append({"a": np.arange(4, dtype=np.int64)}, ts)
+        buffer.trim(boundary=50)  # window is [10, 50)
+        assert buffer.snapshot()["a"].to_list() == [1, 2, 3]
+
+
+class TestReevalFactory:
+    def test_missing_window_clause(self, engine):
+        planned = optimize(plan_query("SELECT x1 FROM s", engine.catalog))
+        with pytest.raises(UnsupportedQueryError):
+            ReevalFactory(planned, baskets={})
+
+    def test_missing_table_binding(self, engine):
+        engine.create_table("dim", [("x2", "int")])
+        planned = optimize(
+            plan_query(
+                "SELECT count(*) FROM s [RANGE 4 SLIDE 2], dim "
+                "WHERE s.x2 = dim.x2",
+                engine.catalog,
+            )
+        )
+        with pytest.raises(SchedulerError):
+            ReevalFactory(planned, baskets={}, tables={})
+
+    def test_only_referenced_columns_buffered(self, engine):
+        query = engine.submit(
+            "SELECT count(*) FROM s [RANGE 4 SLIDE 2] WHERE x1 > 0", mode="reeval"
+        )
+        factory = query.factory
+        buffer = factory._buffers["s"]
+        assert set(buffer._builders) == {"x1"}
+
+    def test_window_buffer_bounded_over_long_run(self, engine):
+        query = engine.submit("SELECT count(*) FROM s [RANGE 10 SLIDE 5]", mode="reeval")
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            engine.feed("s", columns={"x1": rng.integers(0, 5, 5), "x2": rng.integers(0, 5, 5)})
+            engine.run_until_idle()
+        assert len(query.factory._buffers["s"]) == 10  # exactly one window retained
+        assert len(query.results()) == 49
+
+    def test_not_ready_returns_none(self, engine):
+        query = engine.submit("SELECT count(*) FROM s [RANGE 4 SLIDE 2]", mode="reeval")
+        assert query.factory.step() is None
+
+    def test_tumbling_reeval(self, engine):
+        query = engine.submit("SELECT sum(x1) FROM s [RANGE 10]", mode="reeval")
+        engine.feed("s", columns={"x1": np.arange(30, dtype=np.int64),
+                                  "x2": np.zeros(30, dtype=np.int64)})
+        engine.run_until_idle()
+        rows = [batch.rows()[0][0] for batch in query.results()]
+        assert rows == [sum(range(10)), sum(range(10, 20)), sum(range(20, 30))]

@@ -1,0 +1,97 @@
+"""Unit tests for plan-shape analysis (rewriter front half)."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.core.rewriter import analyze
+from repro.sql.optimizer import optimize
+from repro.sql.planner import plan_query
+
+
+def shape_of(catalog, sql):
+    return analyze(optimize(plan_query(sql, catalog)))
+
+
+class TestSingleStreamShapes:
+    def test_select_only(self, catalog):
+        shape = shape_of(catalog, "SELECT x1 FROM s [RANGE 100 SLIDE 10] WHERE x1 > 2")
+        assert not shape.is_join
+        assert shape.aggregate is None
+        assert shape.streams[0].alias == "s"
+        assert shape.streams[0].predicate is not None
+        assert shape.streams[0].window.basic_windows == 10
+
+    def test_grouped_aggregate(self, catalog):
+        shape = shape_of(
+            catalog,
+            "SELECT x1, sum(x2) FROM s [RANGE 100 SLIDE 10] GROUP BY x1",
+        )
+        assert shape.aggregate is not None
+        assert shape.aggregate.keys
+
+    def test_having_captured(self, catalog):
+        shape = shape_of(
+            catalog,
+            "SELECT x1 FROM s [RANGE 100 SLIDE 10] GROUP BY x1 HAVING count(*) > 1",
+        )
+        assert shape.having is not None
+
+    def test_top_operators(self, catalog):
+        shape = shape_of(
+            catalog,
+            "SELECT DISTINCT x1 FROM s [RANGE 100 SLIDE 10] ORDER BY x1 LIMIT 5",
+        )
+        assert shape.distinct
+        assert shape.order is not None
+        assert shape.limit is not None
+
+    def test_landmark(self, catalog):
+        shape = shape_of(catalog, "SELECT sum(x1) FROM s [LANDMARK SLIDE 10]")
+        assert shape.streams[0].window.is_landmark
+
+    def test_missing_window_rejected(self, catalog):
+        with pytest.raises(UnsupportedQueryError):
+            shape_of(catalog, "SELECT x1 FROM s")
+
+    def test_table_only_rejected(self, catalog):
+        with pytest.raises(UnsupportedQueryError):
+            shape_of(catalog, "SELECT x2 FROM ref")
+
+
+class TestJoinShapes:
+    def test_two_streams(self, catalog):
+        shape = shape_of(
+            catalog,
+            "SELECT max(s1.x1) FROM s s1 [RANGE 40 SLIDE 10], s2 [RANGE 40 SLIDE 10] "
+            "WHERE s1.x2 = s2.x2",
+        )
+        assert shape.is_join
+        assert len(shape.streams) == 2
+        assert shape.table is None
+
+    def test_residual_predicate(self, catalog):
+        shape = shape_of(
+            catalog,
+            "SELECT count(*) FROM s s1 [RANGE 40 SLIDE 10], s2 [RANGE 40 SLIDE 10] "
+            "WHERE s1.x2 = s2.x2 AND s1.x1 > s2.x1",
+        )
+        assert shape.residual is not None
+
+    def test_hybrid_stream_table(self, catalog):
+        shape = shape_of(
+            catalog,
+            "SELECT count(*) FROM s s1 [RANGE 40 SLIDE 10], ref "
+            "WHERE s1.x2 = ref.x2",
+        )
+        assert shape.is_join
+        assert shape.table is not None
+        assert shape.table.alias == "ref"
+        assert len(shape.streams) == 1
+
+    def test_single_relation_residual_merges_into_filter(self, catalog):
+        shape = shape_of(
+            catalog,
+            "SELECT x1 FROM s [RANGE 100 SLIDE 10] WHERE x1 > 2 AND x2 < 5",
+        )
+        assert shape.residual is None
+        assert shape.streams[0].predicate is not None

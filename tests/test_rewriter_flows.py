@@ -1,0 +1,61 @@
+"""Unit tests for the flow classification (operator taxonomy)."""
+
+import pytest
+
+from repro.core.rewriter.flows import (
+    Flow,
+    GLOBAL_COMBINE,
+    GROUPED_COMBINE,
+    plan_aggregate_flows,
+)
+from repro.sql.logical import AggSpec
+from repro.sql.ast import ColumnRef
+
+
+def spec(func, out="agg_0"):
+    arg = None if func == "count" else ColumnRef(None, "x2")
+    return AggSpec(func, arg, out)
+
+
+class TestDirectAggregates:
+    @pytest.mark.parametrize("func", ["sum", "count", "min", "max"])
+    def test_grouped_single_flow(self, func):
+        flows, entries = plan_aggregate_flows([spec(func)], grouped=True)
+        assert flows == [Flow("agg_0", f"g{func}")]
+        assert entries[0].finalize == ("flow", "agg_0")
+
+    @pytest.mark.parametrize("func", ["sum", "count", "min", "max"])
+    def test_global_single_flow(self, func):
+        flows, entries = plan_aggregate_flows([spec(func)], grouped=False)
+        assert flows == [Flow("agg_0", func)]
+
+
+class TestAvgExpansion:
+    def test_grouped_avg_expands(self):
+        flows, entries = plan_aggregate_flows([spec("avg")], grouped=True)
+        assert flows == [Flow("agg_0__sum", "gsum"), Flow("agg_0__cnt", "gcount")]
+        assert entries[0].finalize == ("div", "agg_0__sum", "agg_0__cnt")
+
+    def test_global_avg_expands(self):
+        flows, __ = plan_aggregate_flows([spec("avg")], grouped=False)
+        assert [f.kind for f in flows] == ["sum", "count"]
+
+    def test_mixed(self):
+        flows, entries = plan_aggregate_flows(
+            [spec("max", "agg_0"), spec("avg", "agg_1")], grouped=False
+        )
+        assert [f.name for f in flows] == ["agg_0", "agg_1__sum", "agg_1__cnt"]
+        assert entries[0].finalize == ("flow", "agg_0")
+
+
+class TestCombineTables:
+    def test_count_combines_by_sum(self):
+        """The paper's compensation rule: count is compensated by a sum."""
+        assert GROUPED_COMBINE["gcount"] == "aggr.subsum"
+        assert GLOBAL_COMBINE["count"] == "aggr.sum"
+
+    def test_min_max_combine_with_themselves(self):
+        assert GROUPED_COMBINE["gmin"] == "aggr.submin"
+        assert GROUPED_COMBINE["gmax"] == "aggr.submax"
+        assert GLOBAL_COMBINE["min"] == "aggr.min"
+        assert GLOBAL_COMBINE["max"] == "aggr.max"

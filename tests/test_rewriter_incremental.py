@@ -1,0 +1,147 @@
+"""Tests for incremental plan construction (structure, not execution)."""
+
+import pytest
+
+from repro.core.rewriter import rewrite
+from repro.errors import UnsupportedQueryError
+from repro.sql.optimizer import optimize
+from repro.sql.planner import plan_query
+
+
+def rewritten(catalog, sql):
+    return rewrite(optimize(plan_query(sql, catalog)))
+
+
+class TestSingleStreamPrograms:
+    def test_select_only_flows_are_pack(self, catalog):
+        plan = rewritten(
+            catalog, "SELECT x1, x2 FROM s [RANGE 100 SLIDE 10] WHERE x1 > 2"
+        )
+        assert [f.kind for f in plan.flows] == ["pack", "pack"]
+        assert plan.fragment is not None
+        assert not plan.is_join
+
+    def test_fragment_contains_selection(self, catalog):
+        plan = rewritten(catalog, "SELECT x1 FROM s [RANGE 100 SLIDE 10] WHERE x1 > 2")
+        opcodes = [i.opcode for i in plan.fragment.instructions]
+        assert "algebra.thetaselect" in opcodes
+
+    def test_grouped_flows(self, catalog):
+        plan = rewritten(
+            catalog,
+            "SELECT x1, sum(x2), count(*) FROM s [RANGE 100 SLIDE 10] GROUP BY x1",
+        )
+        assert [f.kind for f in plan.flows] == ["gkey", "gsum", "gcount"]
+        combine_ops = [i.opcode for i in plan.combine.instructions]
+        assert "group.group" in combine_ops
+        # count partials are combined with a SUM (compensation rule)
+        assert combine_ops.count("aggr.subsum") == 2
+
+    def test_avg_expanding_replication(self, catalog):
+        """Figure 3(c): avg splits into sum and count flows plus a division."""
+        plan = rewritten(catalog, "SELECT avg(x1) FROM s [RANGE 100 SLIDE 10]")
+        assert [f.kind for f in plan.flows] == ["sum", "count"]
+        fragment_ops = [i.opcode for i in plan.fragment.instructions]
+        assert "aggr.sum" in fragment_ops and "aggr.count" in fragment_ops
+        finalize_ops = [i.opcode for i in plan.finalize.instructions]
+        assert "calc.div" in finalize_ops
+
+    def test_global_sum_compensated_by_sum(self, catalog):
+        """Figure 3(b): partial sums are merged by summing them."""
+        plan = rewritten(catalog, "SELECT sum(x2) FROM s [RANGE 100 SLIDE 10]")
+        assert [i.opcode for i in plan.combine.instructions] == ["aggr.sum"]
+
+    def test_merge_programs_tagged_merge(self, catalog):
+        plan = rewritten(
+            catalog, "SELECT x1, sum(x2) FROM s [RANGE 100 SLIDE 10] GROUP BY x1"
+        )
+        assert all(i.tag == "merge" for i in plan.combine.instructions)
+        assert all(i.tag == "merge" for i in plan.finalize.instructions)
+        assert all(i.tag == "main" for i in plan.fragment.instructions)
+
+    def test_fragment_outputs_match_flows(self, catalog):
+        plan = rewritten(
+            catalog,
+            "SELECT x1, avg(x2) FROM s [RANGE 100 SLIDE 10] GROUP BY x1",
+        )
+        assert len(plan.fragment.outputs) == len(plan.flows)
+        assert [f.name for f in plan.flows] == ["key_0", "agg_0__sum", "agg_0__cnt"]
+
+    def test_owned_outputs_for_bare_projection(self, catalog):
+        """A flow that would alias an input column must be materialized."""
+        plan = rewritten(catalog, "SELECT x1 FROM s [RANGE 100 SLIDE 10]")
+        opcodes = [i.opcode for i in plan.fragment.instructions]
+        assert "bat.materialize" in opcodes
+
+    def test_describe_lists_programs(self, catalog):
+        plan = rewritten(catalog, "SELECT sum(x1) FROM s [RANGE 100 SLIDE 10]")
+        text = plan.describe()
+        assert "fragment" in text and "combine" in text and "finalize" in text
+
+
+class TestJoinPrograms:
+    SQL = (
+        "SELECT max(s1.x1), avg(s2.x1) FROM s s1 [RANGE 40 SLIDE 10], "
+        "s2 [RANGE 40 SLIDE 10] WHERE s1.x2 = s2.x2 AND s1.x1 > 2"
+    )
+
+    def test_structure(self, catalog):
+        plan = rewritten(catalog, self.SQL)
+        assert plan.is_join
+        assert set(plan.preps) == {"s1", "s2"}
+        assert plan.pair_fragment is not None
+        assert plan.fragment is None
+
+    def test_prep_contains_selection(self, catalog):
+        plan = rewritten(catalog, self.SQL)
+        s1_ops = [i.opcode for i in plan.preps["s1"].program.instructions]
+        assert "algebra.thetaselect" in s1_ops
+        # unfiltered side: columns are just materialized
+        s2_ops = [i.opcode for i in plan.preps["s2"].program.instructions]
+        assert "algebra.thetaselect" not in s2_ops
+
+    def test_prep_carries_needed_columns_only(self, catalog):
+        plan = rewritten(catalog, self.SQL)
+        assert set(plan.preps["s1"].columns) == {"x1", "x2"}
+        assert set(plan.preps["s2"].columns) == {"x1", "x2"}
+
+    def test_pair_fragment_joins(self, catalog):
+        plan = rewritten(catalog, self.SQL)
+        opcodes = [i.opcode for i in plan.pair_fragment.instructions]
+        assert "algebra.join" in opcodes
+
+    def test_flows(self, catalog):
+        plan = rewritten(catalog, self.SQL)
+        assert [f.kind for f in plan.flows] == ["max", "sum", "count"]
+
+    def test_hybrid_table_side(self, catalog):
+        plan = rewritten(
+            catalog,
+            "SELECT count(*) FROM s s1 [RANGE 40 SLIDE 10], ref "
+            "WHERE s1.x2 = ref.x2",
+        )
+        assert plan.table_alias == "ref"
+        assert "ref" in plan.preps
+
+
+class TestOutputsAndMetadata:
+    def test_output_names(self, catalog):
+        plan = rewritten(
+            catalog,
+            "SELECT x1 AS grp, sum(x2) AS total FROM s [RANGE 100 SLIDE 10] GROUP BY x1",
+        )
+        assert plan.output_names == ["grp", "total"]
+
+    def test_windows_recorded(self, catalog):
+        plan = rewritten(catalog, "SELECT x1 FROM s [RANGE 100 SLIDE 25]")
+        assert plan.windows["s"].basic_windows == 4
+
+    def test_programs_validate(self, catalog):
+        plan = rewritten(
+            catalog,
+            "SELECT x1, min(x2), max(x2), avg(x2) FROM s [RANGE 100 SLIDE 10] "
+            "GROUP BY x1 HAVING min(x2) > 0 ORDER BY x1 LIMIT 4",
+        )
+        plan.fragment.validate()
+        plan.combine.validate()
+        plan.finalize.validate()

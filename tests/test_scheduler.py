@@ -1,0 +1,136 @@
+"""Tests for the Petri-net scheduler and emitters."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import DataCellEngine
+from repro.core.emitter import CallbackEmitter, CollectingEmitter
+from repro.core.scheduler import Scheduler
+from repro.errors import SchedulerError
+
+
+@pytest.fixture
+def engine():
+    e = DataCellEngine()
+    e.create_stream("s", [("x1", "int"), ("x2", "int")])
+    return e
+
+
+def feed(engine, count, seed=0):
+    rng = np.random.default_rng(seed)
+    engine.feed(
+        "s",
+        columns={
+            "x1": rng.integers(0, 10, count),
+            "x2": rng.integers(0, 50, count),
+        },
+    )
+
+
+SQL = "SELECT count(*) FROM s [RANGE 40 SLIDE 20]"
+
+
+class TestSynchronousScheduling:
+    def test_run_once_fires_ready_factories(self, engine):
+        q1 = engine.submit(SQL)
+        q2 = engine.submit(SQL)
+        feed(engine, 40)
+        fired = engine.scheduler.run_once()
+        assert fired == 2
+        assert len(q1.results()) == len(q2.results()) == 1
+
+    def test_run_until_idle_drains_backlog(self, engine):
+        query = engine.submit(SQL)
+        feed(engine, 40 + 20 * 9)
+        fired = engine.scheduler.run_until_idle()
+        assert fired == 10
+        assert len(query.results()) == 10
+
+    def test_idle_when_nothing_ready(self, engine):
+        engine.submit(SQL)
+        assert engine.scheduler.run_until_idle() == 0
+
+    def test_duplicate_registration_rejected(self, engine):
+        query = engine.submit(SQL)
+        with pytest.raises(SchedulerError):
+            engine.scheduler.register(query.factory)
+
+    def test_unregister_stops_firing(self, engine):
+        query = engine.submit(SQL)
+        engine.scheduler.unregister(query.name)
+        feed(engine, 100)
+        assert engine.scheduler.run_until_idle() == 0
+
+    def test_multiple_queries_independent_windows(self, engine):
+        fast = engine.submit("SELECT count(*) FROM s [RANGE 20 SLIDE 10]")
+        slow = engine.submit("SELECT count(*) FROM s [RANGE 80 SLIDE 40]")
+        feed(engine, 80)
+        engine.run_until_idle()
+        assert len(fast.results()) == 7
+        assert len(slow.results()) == 1
+
+
+class TestEmitters:
+    def test_collecting_emitter_counts(self, engine):
+        query = engine.submit(SQL)
+        feed(engine, 80)
+        engine.run_until_idle()
+        assert query.emitter.total_batches == 3
+        assert query.last() is not None
+
+    def test_keep_last_bound(self):
+        emitter = CollectingEmitter(keep_last=2)
+        from repro.core.factory import ResultBatch
+
+        for i in range(5):
+            emitter("f", ResultBatch([], {}, i, 0.0))
+        assert emitter.total_batches == 5
+        assert len(emitter.batches()) == 2
+
+    def test_callback_emitter(self, engine):
+        seen = []
+        query = engine.submit(SQL)
+        engine.scheduler.add_sink(query.name, CallbackEmitter(seen.append))
+        feed(engine, 60)
+        engine.run_until_idle()
+        assert len(seen) == 2
+
+    def test_clear(self):
+        emitter = CollectingEmitter()
+        from repro.core.factory import ResultBatch
+
+        emitter("f", ResultBatch([], {}, 0, 0.0))
+        emitter.clear()
+        assert emitter.batches() == []
+        assert emitter.last() is None
+
+
+class TestBackgroundScheduling:
+    def test_background_loop_processes_arrivals(self, engine):
+        query = engine.submit(SQL)
+        engine.start()
+        try:
+            feed(engine, 120)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and len(query.results()) < 5:
+                time.sleep(0.01)
+        finally:
+            engine.stop()
+        assert len(query.results()) == 5
+
+    def test_double_start_rejected(self, engine):
+        engine.start()
+        try:
+            with pytest.raises(SchedulerError):
+                engine.start()
+        finally:
+            engine.stop()
+
+    def test_stop_drains(self, engine):
+        query = engine.submit(SQL)
+        engine.start()
+        feed(engine, 40)
+        engine.stop(drain=True)
+        assert len(query.results()) == 1

@@ -1,0 +1,94 @@
+"""Unit tests for tables and the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError, KernelError
+from repro.kernel.atoms import Atom
+from repro.kernel.storage import Catalog, Schema, Table
+
+
+class TestSchema:
+    def test_names_and_atoms(self):
+        schema = Schema.of(("a", Atom.INT), ("b", Atom.STR))
+        assert schema.names == ("a", "b")
+        assert schema.atom_of("b") == Atom.STR
+        assert "a" in schema
+        assert "z" not in schema
+        assert len(schema) == 2
+
+    def test_unknown_column(self):
+        schema = Schema.of(("a", Atom.INT))
+        with pytest.raises(CatalogError):
+            schema.atom_of("nope")
+
+
+class TestTable:
+    def _table(self) -> Table:
+        return Table("t", Schema.of(("k", Atom.INT), ("v", Atom.FLT)))
+
+    def test_append_rows(self):
+        table = self._table()
+        assert table.append_rows([(1, 1.5), (2, 2.5)]) == 2
+        assert table.count == 2
+        assert table.column("k").to_list() == [1, 2]
+        assert table.column("v").to_list() == [1.5, 2.5]
+
+    def test_append_rows_bad_arity(self):
+        with pytest.raises(KernelError):
+            self._table().append_rows([(1,)])
+
+    def test_append_columns(self):
+        table = self._table()
+        assert table.append_columns({"k": [1, 2, 3], "v": [0.1, 0.2, 0.3]}) == 3
+        assert table.count == 3
+
+    def test_append_columns_missing_column(self):
+        with pytest.raises(KernelError):
+            self._table().append_columns({"k": [1]})
+
+    def test_append_columns_ragged(self):
+        with pytest.raises(KernelError):
+            self._table().append_columns({"k": [1], "v": [0.1, 0.2]})
+
+    def test_columns_aligned(self):
+        table = self._table()
+        table.append_rows([(1, 1.0)])
+        cols = table.columns()
+        assert set(cols) == {"k", "v"}
+        assert all(len(bat) == 1 for bat in cols.values())
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            self._table().column("zzz")
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        cat = Catalog()
+        cat.create_table("t", Schema.of(("a", Atom.INT)))
+        cat.create_stream("s", Schema.of(("b", Atom.FLT)))
+        assert cat.has_table("t")
+        assert cat.has_stream("s")
+        assert not cat.is_stream("t")
+        assert cat.is_stream("s")
+        assert cat.schema_of("t").names == ("a",)
+        assert cat.schema_of("s").names == ("b",)
+
+    def test_duplicate_names_rejected(self):
+        cat = Catalog()
+        cat.create_table("x", Schema.of(("a", Atom.INT)))
+        with pytest.raises(CatalogError):
+            cat.create_table("x", Schema.of(("a", Atom.INT)))
+        with pytest.raises(CatalogError):
+            cat.create_stream("x", Schema.of(("a", Atom.INT)))
+
+    def test_unknown_lookups(self):
+        cat = Catalog()
+        with pytest.raises(CatalogError):
+            cat.table("missing")
+        with pytest.raises(CatalogError):
+            cat.stream("missing")
+        with pytest.raises(CatalogError):
+            cat.schema_of("missing")
+        with pytest.raises(CatalogError):
+            cat.is_stream("missing")

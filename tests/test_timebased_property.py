@@ -1,0 +1,98 @@
+"""Property-based equivalence for time-based windows.
+
+Random bursty arrival processes (including long silences → empty basic
+windows) through the incremental and re-evaluation paths plus a Python
+reference computed from the timestamps directly.
+"""
+
+import collections
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DataCellEngine
+
+US = 1_000_000
+
+common = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_engine():
+    engine = DataCellEngine()
+    engine.create_stream("s", [("x1", "int"), ("x2", "int")])
+    return engine
+
+
+arrival_process = st.lists(
+    st.integers(0, 15 * US),  # inter-arrival gaps up to 15 s (empty slices)
+    min_size=5,
+    max_size=120,
+)
+
+
+class TestTimeBasedEquivalence:
+    @common
+    @given(
+        arrival_process,
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([(40, 10), (30, 5), (20, 20)]),
+    )
+    def test_incremental_vs_reeval_vs_reference(self, gaps, seed, geometry):
+        size_s, step_s = geometry
+        ts = np.cumsum(np.asarray(gaps, dtype=np.int64))
+        count = len(ts)
+        rng = np.random.default_rng(seed)
+        x1 = rng.integers(0, 10, count).astype(np.int64)
+        x2 = rng.integers(0, 20, count).astype(np.int64)
+
+        sql = (
+            f"SELECT x1, sum(x2) FROM s [RANGE {size_s} SECONDS "
+            f"SLIDE {step_s} SECONDS] WHERE x1 > 4 GROUP BY x1 ORDER BY x1"
+        )
+        engine = build_engine()
+        qi = engine.submit(sql, mode="incremental")
+        qr = engine.submit(sql, mode="reeval")
+        engine.feed("s", columns={"x1": x1, "x2": x2}, timestamps=ts)
+        engine.run_until_idle()
+
+        incr = qi.result_rows()
+        reev = qr.result_rows()
+        assert incr == reev
+
+        # reference: window k covers [t0 + k*step, t0 + k*step + size)
+        t0 = int(ts[0])
+        size_us, step_us = size_s * US, step_s * US
+        watermark = int(ts[-1])
+        expected_windows = []
+        k = 0
+        while t0 + k * step_us + size_us <= watermark:
+            lo = t0 + k * step_us
+            hi = lo + size_us
+            sums: dict[int, int] = collections.defaultdict(int)
+            for a, b, t in zip(x1, x2, ts):
+                if lo <= t < hi and a > 4:
+                    sums[int(a)] += int(b)
+            expected_windows.append(sorted(sums.items()))
+            k += 1
+        assert incr == expected_windows
+
+    @common
+    @given(arrival_process, st.integers(0, 2**31 - 1))
+    def test_landmark_time_based(self, gaps, seed):
+        ts = np.cumsum(np.asarray(gaps, dtype=np.int64))
+        count = len(ts)
+        rng = np.random.default_rng(seed)
+        x1 = rng.integers(0, 10, count).astype(np.int64)
+        x2 = rng.integers(0, 20, count).astype(np.int64)
+        sql = "SELECT count(*), sum(x2) FROM s [LANDMARK SLIDE 10 SECONDS]"
+        engine = build_engine()
+        qi = engine.submit(sql, mode="incremental")
+        qr = engine.submit(sql, mode="reeval")
+        engine.feed("s", columns={"x1": x1, "x2": x2}, timestamps=ts)
+        engine.run_until_idle()
+        assert qi.result_rows() == qr.result_rows()

@@ -1,0 +1,61 @@
+"""Unit tests for window specifications."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.core.windows import WindowSpec
+from repro.sql.ast import WindowClause
+
+
+class TestWindowSpec:
+    def test_sliding(self):
+        w = WindowSpec("sliding", 100, 10)
+        assert w.basic_windows == 10
+        assert not w.is_landmark
+
+    def test_tumbling_has_one_basic_window(self):
+        w = WindowSpec.tumbling(50)
+        assert w.basic_windows == 1
+
+    def test_sliding_helper_collapses_to_tumbling(self):
+        w = WindowSpec.sliding(100, 100)
+        assert w.kind == "tumbling"
+
+    def test_landmark(self):
+        w = WindowSpec.landmark(10)
+        assert w.is_landmark
+        assert w.basic_windows == 0
+
+    def test_time_sliding(self):
+        w = WindowSpec.time_sliding(10_000_000, 2_000_000)
+        assert w.time_based
+        assert w.basic_windows == 5
+
+    def test_from_clause(self):
+        clause = WindowClause("sliding", 200, 20, False)
+        w = WindowSpec.from_clause(clause)
+        assert w.size == 200 and w.step == 20
+
+    def test_size_must_divide(self):
+        with pytest.raises(UnsupportedQueryError):
+            WindowSpec("sliding", 100, 30)
+
+    def test_positive_step(self):
+        with pytest.raises(UnsupportedQueryError):
+            WindowSpec("sliding", 100, 0)
+
+    def test_positive_size(self):
+        with pytest.raises(UnsupportedQueryError):
+            WindowSpec("sliding", 0, 1)
+
+    def test_landmark_has_no_size(self):
+        with pytest.raises(UnsupportedQueryError):
+            WindowSpec("landmark", 10, 5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(UnsupportedQueryError):
+            WindowSpec("wavy", 10, 5)
+
+    def test_time_helper_checks_divisibility(self):
+        with pytest.raises(UnsupportedQueryError):
+            WindowSpec.time_sliding(10, 3)
