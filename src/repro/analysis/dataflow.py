@@ -1,0 +1,132 @@
+"""Dataflow analysis over straight-line MAL-like programs.
+
+The checks formalize the discipline the rewriter and the interpreter rely
+on but never enforced statically:
+
+* **def-before-use** — every slot reference is preceded by its definition
+  (a program input or an earlier instruction's output);
+* **single assignment** — no slot is written twice and no input is
+  shadowed; the rewriter rearranges programs symbolically, which is only
+  sound when a slot names exactly one value;
+* **output contract** — every declared output is defined, declared inputs
+  are unique;
+* **liveness** — unused inputs, unused slots and dead instructions are
+  reported as warnings, and :func:`dead_instructions` powers the
+  optimizer's dead-code cleanup pass (all opcodes are pure, so an
+  instruction none of whose outputs is transitively needed can go).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Report
+from repro.kernel.execution.program import Instr, Program, Ref
+
+
+def _refs(instr: Instr) -> list[str]:
+    return [arg.name for arg in instr.args if isinstance(arg, Ref)]
+
+
+def analyze_dataflow(program: Program, where: str = "program") -> Report:
+    """Run every dataflow check over ``program``; returns a report."""
+    report = Report(subject=where)
+
+    # -- input/output declarations ------------------------------------
+    seen_inputs: set[str] = set()
+    for name in program.inputs:
+        if name in seen_inputs:
+            report.error(where, f"input slot {name!r} declared twice")
+        seen_inputs.add(name)
+
+    # -- def-before-use and single assignment -------------------------
+    defined: dict[str, int | None] = {name: None for name in seen_inputs}
+    for index, instr in enumerate(program.instructions):
+        for name in _refs(instr):
+            if name not in defined:
+                report.error(
+                    where,
+                    f"{instr.opcode} reads slot {name!r} before any definition",
+                    instr=index,
+                )
+        seen_outs: set[str] = set()
+        for out in instr.outs:
+            if out in seen_outs:
+                report.error(
+                    where,
+                    f"{instr.opcode} lists output slot {out!r} twice",
+                    instr=index,
+                )
+            seen_outs.add(out)
+            if out in defined:
+                if defined[out] is None:
+                    report.error(
+                        where,
+                        f"{instr.opcode} overwrites program input {out!r} "
+                        "(inputs are immutable)",
+                        instr=index,
+                    )
+                else:
+                    report.error(
+                        where,
+                        f"slot {out!r} assigned twice (first at instruction "
+                        f"{defined[out]}); programs are single-assignment",
+                        instr=index,
+                    )
+            else:
+                defined[out] = index
+
+    for out in program.outputs:
+        if out not in defined:
+            report.error(where, f"declared output {out!r} is never defined")
+
+    # -- liveness -----------------------------------------------------
+    read: set[str] = set()
+    for instr in program.instructions:
+        read.update(_refs(instr))
+    outputs = set(program.outputs)
+    for name in program.inputs:
+        if name not in read and name not in outputs:
+            report.warning(where, f"input slot {name!r} is never read")
+    for index in dead_instructions(program):
+        instr = program.instructions[index]
+        report.warning(
+            where,
+            f"dead instruction: {instr.opcode} defines "
+            f"{', '.join(repr(o) for o in instr.outs)} but nothing uses it",
+            instr=index,
+        )
+    return report
+
+
+def dead_instructions(program: Program, keep: frozenset[str] = frozenset()) -> list[int]:
+    """Indices of instructions whose outputs are all transitively unused.
+
+    ``keep`` adds extra slots to treat as live roots besides the program's
+    declared outputs.  Relies on every opcode being a pure function of its
+    operands (the interpreter's contract), so removal never changes the
+    observable outputs.
+    """
+    live: set[str] = set(program.outputs) | set(keep)
+    dead: list[int] = []
+    for index in range(len(program.instructions) - 1, -1, -1):
+        instr = program.instructions[index]
+        if any(out in live for out in instr.outs):
+            live.update(_refs(instr))
+        else:
+            dead.append(index)
+    dead.reverse()
+    return dead
+
+
+def eliminate_dead_instructions(
+    program: Program, keep: frozenset[str] = frozenset()
+) -> int:
+    """Drop dead instructions from ``program`` in place; returns the count."""
+    dead = dead_instructions(program, keep)
+    if dead:
+        doomed = set(dead)
+        program.instructions = [
+            instr
+            for index, instr in enumerate(program.instructions)
+            if index not in doomed
+        ]
+    return len(dead)

@@ -1,0 +1,99 @@
+"""Atom type inference over MAL-like programs.
+
+Propagates :class:`~repro.kernel.atoms.Atom` types from the program's input
+slots through every instruction, using the per-opcode signature table in
+:mod:`repro.analysis.signatures`.  Unknown inputs propagate as ``None``
+without complaint; definite violations (a BIT mask fed to an arithmetic
+opcode, concatenating INT with STR partials, ...) become error
+diagnostics pointing at the offending instruction.
+
+The pass is deliberately forgiving about *scalars vs columns*: the
+interpreter passes 1-row BATs, Python ints and numpy arrays through the
+same slots, so only the atom (value type) is tracked.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.analysis.diagnostics import Report
+from repro.analysis.signatures import (
+    ArgType,
+    SignatureError,
+    literal_arg,
+    signature_for,
+)
+from repro.kernel.atoms import Atom
+from repro.kernel.execution.program import Lit, Program, Ref
+
+#: slot type environment: slot name -> Atom or None (unknown)
+TypeEnv = dict[str, Optional[Atom]]
+
+
+def infer_types(
+    program: Program,
+    input_atoms: Optional[Mapping[str, Optional[Atom]]] = None,
+    where: str = "program",
+    report: Optional[Report] = None,
+) -> tuple[TypeEnv, Report]:
+    """Infer the atom of every slot; returns ``(types, report)``.
+
+    ``input_atoms`` maps input-slot names to their atoms; missing entries
+    (or a missing mapping) are treated as unknown.  The inference never
+    raises — all violations are collected in the report, and slots the
+    checker cannot type stay ``None``.
+    """
+    report = report if report is not None else Report(subject=where)
+    env: TypeEnv = {}
+    given = dict(input_atoms or {})
+    for name in program.inputs:
+        env[name] = given.get(name)
+
+    for index, instr in enumerate(program.instructions):
+        signature = signature_for(instr.opcode)
+        if signature is None:
+            report.error(
+                where,
+                f"unknown opcode {instr.opcode!r} (no signature; the "
+                "interpreter would reject it)",
+                instr=index,
+            )
+            for out in instr.outs:
+                env.setdefault(out, None)
+            continue
+        args: list[ArgType] = []
+        for operand in instr.args:
+            if isinstance(operand, Ref):
+                args.append(ArgType(env.get(operand.name)))
+            elif isinstance(operand, Lit):
+                args.append(literal_arg(operand.value))
+            else:  # pragma: no cover - defensive
+                args.append(ArgType(None))
+        try:
+            outs = signature.apply(args)
+        except SignatureError as exc:
+            report.error(where, str(exc), instr=index)
+            outs = tuple(None for __ in instr.outs)
+        if len(outs) != len(instr.outs):
+            report.error(
+                where,
+                f"{instr.opcode} produces {len(outs)} value(s) but the "
+                f"instruction binds {len(instr.outs)} output slot(s)",
+                instr=index,
+            )
+            outs = tuple(outs[: len(instr.outs)]) + tuple(
+                None for __ in range(len(instr.outs) - len(outs))
+            )
+        for out, atom in zip(instr.outs, outs):
+            # Later passes handle double assignment; last write wins here.
+            env[out] = atom
+    return env, report
+
+
+def output_atoms(
+    program: Program,
+    input_atoms: Optional[Mapping[str, Optional[Atom]]] = None,
+) -> list[Optional[Atom]]:
+    """Inferred atoms of the program's declared outputs (None = unknown)."""
+    env, __ = infer_types(program, input_atoms)
+    return [env.get(name) for name in program.outputs]

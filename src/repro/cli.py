@@ -20,6 +20,9 @@ Commands (case-insensitive keywords; one per line)::
 
 The console is a thin veneer: every command maps 1:1 onto a
 :class:`repro.DataCellEngine` method, so scripts double as API examples.
+
+``python -m repro lint [...]`` is a separate subcommand that statically
+verifies rewritten plans (see :mod:`repro.analysis.lint`).
 """
 
 from __future__ import annotations
@@ -27,9 +30,9 @@ from __future__ import annotations
 import re
 import shlex
 import sys
-from typing import Callable, Optional, TextIO
+from typing import Optional, TextIO
 
-from repro.core.engine import ContinuousQuery, DataCellEngine
+from repro.core.engine import DataCellEngine
 from repro.errors import ReproError
 from repro.workloads.csvio import read_csv_chunks
 
@@ -209,8 +212,16 @@ class Console:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """Entry point: interactive REPL, or replay script files given as args."""
+    """Entry point: interactive REPL, or replay script files given as args.
+
+    ``python -m repro lint ...`` dispatches to the static plan verifier
+    instead (see :mod:`repro.analysis.lint`).
+    """
     argv = argv if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.analysis.lint import run_lint_cli
+
+        return run_lint_cli(argv[1:])
     console = Console()
     if argv:
         for path in argv:

@@ -18,11 +18,11 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.windows import TS_COLUMN
 from repro.errors import BasketError
 from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT, BATBuilder
 from repro.kernel.storage import Schema
-from repro.core.windows import TS_COLUMN
 
 
 class Basket:

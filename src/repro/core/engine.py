@@ -26,6 +26,7 @@ work).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -105,9 +106,20 @@ class ContinuousQuery:
 
 
 class DataCellEngine:
-    """A complete DataCell instance (Figure 1 of the paper)."""
+    """A complete DataCell instance (Figure 1 of the paper).
 
-    def __init__(self) -> None:
+    ``verify_plans=True`` statically verifies every rewritten plan at
+    registration time (:func:`repro.analysis.check_plan`) — a debug mode
+    that catches rewriter regressions before a factory ever fires.  The
+    default follows the ``REPRO_VERIFY_PLANS`` environment variable
+    (``1``/``true``/``yes``/``on`` enables it).
+    """
+
+    def __init__(self, verify_plans: Optional[bool] = None) -> None:
+        if verify_plans is None:
+            flag = os.environ.get("REPRO_VERIFY_PLANS", "")
+            verify_plans = flag.strip().lower() in ("1", "true", "yes", "on")
+        self.verify_plans = verify_plans
         self.catalog = Catalog()
         self.scheduler = Scheduler()
         self._queries: dict[str, ContinuousQuery] = {}
@@ -173,6 +185,21 @@ class DataCellEngine:
         factory: FactoryBase
         if mode == "incremental":
             plan = rewrite(planned)
+            if self.verify_plans:
+                # Imported lazily: repro.analysis depends on this module.
+                from repro.analysis.plan_verifier import check_plan
+
+                schemas = {
+                    scan.alias: dict(
+                        (
+                            self.catalog.stream(scan.relation)
+                            if scan.is_stream
+                            else self.catalog.table(scan.relation)
+                        ).schema.columns
+                    )
+                    for scan in find_scans(planned.plan)
+                }
+                check_plan(plan, schemas)
             factory = IncrementalFactory(plan, baskets, tables, name=query_name)
         else:
             factory = ReevalFactory(planned, baskets, tables, name=query_name)

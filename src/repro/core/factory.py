@@ -28,10 +28,8 @@ import numpy as np
 from repro.core.basket import Basket
 from repro.core.partials import Bundle, PairStore, PartialStore
 from repro.core.rewriter.incremental import IncrementalPlan, packed, prep_slot
-from repro.core.windows import WindowSpec
 from repro.errors import SchedulerError, UnsupportedQueryError
 from repro.kernel.algebra.setops import concat
-from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT
 from repro.kernel.execution.interpreter import Interpreter
 from repro.kernel.execution.profiler import Profiler

@@ -27,7 +27,7 @@ from repro.kernel.execution.interpreter import Interpreter
 from repro.kernel.execution.profiler import Profiler
 from repro.kernel.storage import Table
 from repro.sql.logical import find_scans
-from repro.sql.physical import CompiledQuery, compile_full, scan_slot
+from repro.sql.physical import CompiledQuery, compile_full
 from repro.sql.planner import PlannedQuery
 
 

@@ -19,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import UnsupportedQueryError
 from repro.core.windows import WindowSpec
+from repro.errors import UnsupportedQueryError
 from repro.sql.ast import Expr
 from repro.sql.logical import (
     LAggregate,

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import UnsupportedQueryError
 from repro.core.rewriter.analysis import PlanShape, analyze
 from repro.core.rewriter.flows import (
     AggPlanEntry,
@@ -35,11 +34,13 @@ from repro.core.rewriter.flows import (
     plan_aggregate_flows,
 )
 from repro.core.windows import WindowSpec
+from repro.errors import UnsupportedQueryError
 from repro.kernel.atoms import Atom
-from repro.kernel.execution.program import Lit, Program, Ref, TAG_MERGE
+from repro.kernel.execution.program import Program, Ref, TAG_MERGE
 from repro.sql.ast import ColumnRef, walk
 from repro.sql.logical import LScan
-from repro.sql.physical import BaseRows, ColRows, PlanCompiler, Rows, scan_slot
+from repro.sql.optimizer.rules import eliminate_dead_code
+from repro.sql.physical import BaseRows, ColRows, PlanCompiler, Rows
 from repro.sql.planner import PlannedQuery
 
 
@@ -314,7 +315,6 @@ def rewrite(planned: PlannedQuery) -> IncrementalPlan:
     rewritable class (the caller can still fall back to re-evaluation).
     """
     shape = analyze(planned)
-    binding = planned.binding
 
     grouped = bool(shape.aggregate and shape.aggregate.keys)
     entries: list[AggPlanEntry] = []
@@ -350,6 +350,14 @@ def rewrite(planned: PlannedQuery) -> IncrementalPlan:
     plan.finalize, plan.output_names, plan.output_atoms = _build_finalize(
         shape, planned, flows, entries
     )
+    # Cleanup pass: the per-column compilers can leave slots no flow reads
+    # (pruned expressions, unused join sides); the factory addresses every
+    # surviving slot through program outputs, so liveness roots are exact.
+    programs = [plan.fragment, plan.pair_fragment, plan.combine, plan.finalize]
+    programs += [prep.program for prep in plan.preps.values()]
+    for program in programs:
+        if program is not None:
+            eliminate_dead_code(program)
     return plan
 
 

@@ -20,7 +20,7 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.core.rewriter.analysis import PlanShape, StreamInput, analyze
+from repro.core.rewriter.analysis import analyze
 from repro.core.windows import WindowSpec
 from repro.dsms.accumulators import GroupedAccumulators
 from repro.dsms.expr import compile_output_expr, compile_scalar

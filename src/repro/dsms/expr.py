@@ -18,11 +18,22 @@ from repro.sql.binder import Binding
 Rows = Mapping[str, tuple]
 ScalarFn = Callable[[Rows], object]
 
+def _sql_divide(a, b):
+    """SQL division, matching the kernel's ``calc.divide`` semantics:
+    the quotient is always float and ``x / 0`` is NULL, represented
+    in-band as NaN — never ``None`` (which would poison later arithmetic
+    and comparisons) and never an exception.
+    """
+    if b == 0:
+        return float("nan")
+    return a / b
+
+
 _BINOPS: dict[str, Callable] = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
     "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b if b else None,
+    "/": _sql_divide,
     "%": lambda a, b: a % b,
     "==": lambda a, b: a == b,
     "!=": lambda a, b: a != b,

@@ -64,6 +64,14 @@ class UnsupportedQueryError(RewriteError):
     """The continuous query uses a feature the rewriter does not support."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis of a physical program or incremental plan failed."""
+
+
+class PlanVerificationError(AnalysisError):
+    """A rewritten plan violates the incremental-plan invariants."""
+
+
 class SchedulerError(ReproError):
     """The DataCell scheduler detected an inconsistent factory state."""
 

@@ -12,7 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import KernelError, TypeMismatchError
-from repro.kernel.atoms import Atom, numpy_dtype
+from repro.kernel.atoms import numpy_dtype
 from repro.kernel.bat import BAT
 
 

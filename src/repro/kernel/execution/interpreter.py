@@ -11,11 +11,11 @@ of its operands.
 
 from __future__ import annotations
 
+import importlib
 import time
 from typing import Callable, Mapping
 
 from repro.errors import ExecutionError, UnknownInstructionError
-import importlib
 
 from repro.kernel.algebra import aggregate, calc, project, setops
 

@@ -15,7 +15,7 @@ them instruction by instruction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 TAG_MAIN = "main"
 TAG_MERGE = "merge"

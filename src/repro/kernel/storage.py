@@ -9,13 +9,13 @@ single query plan can mix both (paper Figure 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import CatalogError, KernelError
-from repro.kernel.atoms import Atom, numpy_dtype
+from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT, BATBuilder
 
 

@@ -18,7 +18,7 @@ Window forms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 
 # ----------------------------------------------------------------------

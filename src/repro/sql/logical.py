@@ -12,7 +12,7 @@ with every layer optional except Project and the Scans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.kernel.atoms import Atom

@@ -1,6 +1,7 @@
 """Rule driver for the logical optimizer."""
 
 from repro.sql.optimizer.rules import (
+    eliminate_dead_code,
     fold_constants,
     fold_plan_constants,
     fuse_filters,
@@ -20,6 +21,7 @@ def optimize(planned: PlannedQuery) -> PlannedQuery:
 
 
 __all__ = [
+    "eliminate_dead_code",
     "fold_constants",
     "fold_plan_constants",
     "fuse_filters",

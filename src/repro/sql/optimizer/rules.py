@@ -6,7 +6,10 @@ classical algebraic ones the reproduction needs:
 
 * constant folding inside predicates and projections,
 * filter fusion (adjacent filters AND-ed together),
-* projection pruning (scans only materialize referenced columns).
+* projection pruning (scans only materialize referenced columns),
+* dead-code elimination over compiled physical programs
+  (:func:`eliminate_dead_code`, backed by the liveness analysis in
+  :mod:`repro.analysis.dataflow`).
 
 Predicate pushdown happens structurally in the planner (conjuncts are
 classified while building the plan), so no separate rule is needed.
@@ -21,13 +24,9 @@ from repro.sql.ast import BinOp, ColumnRef, Expr, FuncCall, Literal, UnaryOp, wa
 from repro.sql.binder import Binding
 from repro.sql.logical import (
     LAggregate,
-    LDistinct,
     LFilter,
     LJoin,
-    LLimit,
-    LOrder,
     LProject,
-    LScan,
     LogicalNode,
     find_scans,
 )
@@ -143,3 +142,18 @@ def prune_projections(node: LogicalNode, binding: Binding) -> LogicalNode:
         columns = needed.get(scan.alias, set())
         scan.needed = [name for name, __ in scan.schema if name in columns]
     return node
+
+
+def eliminate_dead_code(program, keep=()) -> int:
+    """Drop instructions whose outputs never reach a program output.
+
+    Sound because every interpreter opcode is a pure function of its
+    operands (the interpreter contract) — removing an unread instruction
+    cannot change observable results.  ``keep`` names extra slots to treat
+    as live (e.g. slots the factory reads by name).  Mutates ``program``
+    in place and returns the number of instructions removed.
+    """
+    # Imported lazily: repro.analysis pulls in modules that import this one.
+    from repro.analysis.dataflow import eliminate_dead_instructions
+
+    return eliminate_dead_instructions(program, keep=frozenset(keep))

@@ -39,6 +39,7 @@ from repro.sql.logical import (
     LScan,
     LogicalNode,
 )
+from repro.sql.optimizer.rules import eliminate_dead_code
 from repro.sql.planner import PlannedQuery, split_conjuncts
 
 _COMPARISONS = frozenset({"==", "!=", "<", "<=", ">", ">="})
@@ -466,6 +467,7 @@ def compile_full(planned: PlannedQuery) -> CompiledQuery:
     atoms = [atom for __, atom in planned.plan.output_columns()]
     slots = [rows.slots[name] for name in names]
     compiler.program.outputs = tuple(slots)
+    eliminate_dead_code(compiler.program)
     compiler.program.validate()
     return CompiledQuery(
         program=compiler.program,

@@ -19,10 +19,7 @@ from repro.sql.ast import (
     ColumnRef,
     Expr,
     FuncCall,
-    Literal,
-    OrderItem,
     Query,
-    SelectItem,
     UnaryOp,
     contains_aggregate,
     walk,

@@ -1,0 +1,115 @@
+"""Dataflow analysis: def-before-use, single assignment, liveness, DCE."""
+
+from repro.analysis import (
+    analyze_dataflow,
+    dead_instructions,
+    eliminate_dead_instructions,
+)
+from repro.kernel.execution.program import Instr, Lit, Program, Ref
+
+
+def prog(inputs, outputs, instrs):
+    return Program(
+        inputs=tuple(inputs), outputs=tuple(outputs), instructions=list(instrs)
+    )
+
+
+def test_clean_program_has_no_diagnostics():
+    p = prog(
+        ["a", "b"],
+        ["c"],
+        [Instr("calc.add", (Ref("a"), Ref("b")), ("c",))],
+    )
+    report = analyze_dataflow(p)
+    assert report.ok
+    assert not report.diagnostics
+
+
+def test_def_before_use_is_an_error():
+    p = prog([], ["c"], [Instr("bat.mirror", (Ref("ghost"),), ("c",))])
+    report = analyze_dataflow(p)
+    assert not report.ok
+    assert any("before any definition" in d.message for d in report.errors())
+
+
+def test_duplicate_input_declaration():
+    p = prog(["a", "a"], [], [])
+    assert any(
+        "declared twice" in d.message for d in analyze_dataflow(p).errors()
+    )
+
+
+def test_overwriting_an_input_is_an_error():
+    p = prog(
+        ["a"], ["a"], [Instr("bat.materialize", (Ref("a"),), ("a",))]
+    )
+    report = analyze_dataflow(p)
+    assert any("overwrites program input" in d.message for d in report.errors())
+
+
+def test_double_assignment_is_an_error():
+    p = prog(
+        ["a"],
+        ["b"],
+        [
+            Instr("bat.mirror", (Ref("a"),), ("b",)),
+            Instr("bat.materialize", (Ref("a"),), ("b",)),
+        ],
+    )
+    report = analyze_dataflow(p)
+    assert any("single-assignment" in d.message for d in report.errors())
+
+
+def test_undefined_output_is_an_error():
+    p = prog(["a"], ["never"], [])
+    report = analyze_dataflow(p)
+    assert any("never defined" in d.message for d in report.errors())
+
+
+def test_unused_input_is_a_warning_not_error():
+    p = prog(["a", "b"], ["c"], [Instr("bat.mirror", (Ref("a"),), ("c",))])
+    report = analyze_dataflow(p)
+    assert report.ok  # warnings only
+    assert any("never read" in d.message for d in report.warnings())
+
+
+def test_dead_instruction_detection_and_elimination():
+    p = prog(
+        ["a"],
+        ["keepme"],
+        [
+            Instr("bat.mirror", (Ref("a"),), ("keepme",)),
+            # dead chain: u feeds v, nothing reads v
+            Instr("bat.mirror", (Ref("a"),), ("u",)),
+            Instr("bat.materialize", (Ref("u"),), ("v",)),
+        ],
+    )
+    assert dead_instructions(p) == [1, 2]
+    report = analyze_dataflow(p)
+    assert report.ok
+    assert sum("dead instruction" in d.message for d in report.warnings()) == 2
+
+    removed = eliminate_dead_instructions(p)
+    assert removed == 2
+    assert len(p.instructions) == 1
+    p.validate()  # still a well-formed program
+
+
+def test_keep_slots_guard_against_elimination():
+    p = prog(
+        ["a"],
+        [],
+        [Instr("aggr.sum", (Ref("a"),), ("total",))],
+    )
+    assert dead_instructions(p, keep=frozenset({"total"})) == []
+    assert eliminate_dead_instructions(p, keep=frozenset({"total"})) == 0
+    assert eliminate_dead_instructions(p) == 1
+
+
+def test_literals_are_not_slot_references():
+    p = prog(
+        [],
+        ["c"],
+        [Instr("calc.const", (Lit(3), Lit("int")), ("c",))],
+    )
+    assert analyze_dataflow(p).ok

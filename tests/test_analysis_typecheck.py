@@ -1,0 +1,143 @@
+"""Atom type inference against the per-opcode signature table."""
+
+import pytest
+
+from repro.analysis import infer_types, output_atoms, signature_for
+from repro.analysis.signatures import SIGNATURES, ArgType, SignatureError
+from repro.kernel.atoms import Atom
+from repro.kernel.execution.interpreter import known_opcodes
+from repro.kernel.execution.program import Instr, Lit, Program, Ref
+
+
+def prog(inputs, outputs, instrs):
+    return Program(
+        inputs=tuple(inputs), outputs=tuple(outputs), instructions=list(instrs)
+    )
+
+
+def test_every_interpreter_opcode_has_a_signature():
+    missing = [op for op in known_opcodes() if signature_for(op) is None]
+    assert not missing, f"opcodes without signatures: {missing}"
+
+
+def test_signature_table_has_no_stale_entries():
+    stale = sorted(set(SIGNATURES) - set(known_opcodes()))
+    assert not stale, f"signatures for unknown opcodes: {stale}"
+
+
+def test_sum_preserves_int_and_flt():
+    p = prog(
+        ["xs"], ["total"], [Instr("aggr.sum", (Ref("xs"),), ("total",))]
+    )
+    assert output_atoms(p, {"xs": Atom.INT}) == [Atom.INT]
+    assert output_atoms(p, {"xs": Atom.FLT}) == [Atom.FLT]
+    assert output_atoms(p, {}) == [None]  # unknown propagates silently
+
+
+def test_division_is_always_float():
+    p = prog(
+        ["a", "b"],
+        ["q"],
+        [Instr("calc.div", (Ref("a"), Ref("b")), ("q",))],
+    )
+    assert output_atoms(p, {"a": Atom.INT, "b": Atom.INT}) == [Atom.FLT]
+
+
+def test_arithmetic_promotes_to_float():
+    p = prog(
+        ["a", "b"],
+        ["c"],
+        [Instr("calc.+", (Ref("a"), Ref("b")), ("c",))],
+    )
+    assert output_atoms(p, {"a": Atom.INT, "b": Atom.FLT}) == [Atom.FLT]
+    assert output_atoms(p, {"a": Atom.INT, "b": Atom.INT}) == [Atom.INT]
+
+
+def test_group_group_output_shape():
+    p = prog(
+        ["k"],
+        ["gids", "ext", "ng"],
+        [Instr("group.group", (Ref("k"),), ("gids", "ext", "ng"))],
+    )
+    assert output_atoms(p, {"k": Atom.STR}) == [Atom.INT, Atom.OID, Atom.INT]
+
+
+def test_projection_takes_tail_atom_and_checks_candidates():
+    p = prog(
+        ["cand", "col"],
+        ["out"],
+        [Instr("algebra.projection", (Ref("cand"), Ref("col")), ("out",))],
+    )
+    assert output_atoms(p, {"cand": Atom.OID, "col": Atom.STR}) == [Atom.STR]
+    __, report = infer_types(p, {"cand": Atom.INT, "col": Atom.STR})
+    assert any("candidate list" in d.message for d in report.errors())
+
+
+def test_unknown_opcode_is_an_error():
+    p = prog(["a"], ["b"], [Instr("algebra.zap", (Ref("a"),), ("b",))])
+    __, report = infer_types(p, {"a": Atom.INT})
+    assert any("unknown opcode" in d.message for d in report.errors())
+
+
+def test_arithmetic_over_strings_is_an_error():
+    p = prog(
+        ["s", "n"],
+        ["c"],
+        [Instr("calc.+", (Ref("s"), Ref("n")), ("c",))],
+    )
+    __, report = infer_types(p, {"s": Atom.STR, "n": Atom.INT})
+    assert not report.ok
+
+
+def test_mixed_atom_concatenation_is_an_error():
+    p = prog(
+        ["a", "b"],
+        ["c"],
+        [Instr("mat.pack", (Ref("a"), Ref("b")), ("c",))],
+    )
+    __, report = infer_types(p, {"a": Atom.INT, "b": Atom.STR})
+    assert any("atom mismatch" in d.message for d in report.errors())
+
+
+def test_string_number_comparison_is_an_error():
+    p = prog(
+        ["s"],
+        ["m"],
+        [Instr("calc.>", (Ref("s"), Lit(5)), ("m",))],
+    )
+    __, report = infer_types(p, {"s": Atom.STR})
+    assert any("cannot compare" in d.message for d in report.errors())
+
+
+def test_out_count_mismatch_is_an_error():
+    p = prog(
+        ["k"],
+        ["gids"],
+        [Instr("group.group", (Ref("k"),), ("gids",))],
+    )
+    __, report = infer_types(p, {"k": Atom.INT})
+    assert any("binds 1 output slot" in d.message for d in report.errors())
+
+
+def test_arity_violation_is_an_error():
+    p = prog(["a"], ["b"], [Instr("calc.div", (Ref("a"),), ("b",))])
+    __, report = infer_types(p, {"a": Atom.INT})
+    assert any("at least 2 operand" in d.message for d in report.errors())
+
+
+def test_signature_apply_rejects_definite_violations_directly():
+    sig = signature_for("aggr.sum")
+    with pytest.raises(SignatureError):
+        sig.apply([ArgType(Atom.STR)])
+    assert sig.apply([ArgType(Atom.FLT)]) == (Atom.FLT,)
+
+
+def test_inference_never_raises_on_garbage():
+    p = prog(
+        [],
+        ["x"],
+        [Instr("calc.div", (Lit(1), Lit(0)), ("x",))],
+    )
+    env, report = infer_types(p)
+    assert env["x"] is None
+    assert any("column operand" in d.message for d in report.errors())

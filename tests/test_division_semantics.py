@@ -1,0 +1,64 @@
+"""Shared division semantics: dsms scalar ``/`` vs the kernel's calc.divide.
+
+Both engines evaluate the same SQL, so ``x / y`` must mean the same thing
+in the tuple-at-a-time SystemX simulator and in the vectorized kernel:
+the quotient is always float, and a zero divisor yields NULL represented
+in-band as NaN (never ``None``, never an exception, never +/-inf).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.dsms.expr import compile_scalar
+from repro.kernel.algebra import calc
+from repro.kernel.atoms import Atom
+from repro.kernel.bat import BAT
+from repro.sql.ast import BinOp, Literal
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+numbers = st.one_of(st.integers(-(10**9), 10**9), finite_floats)
+
+
+def dsms_divide(a, b):
+    """Evaluate ``a / b`` through the dsms scalar compiler."""
+    fn = compile_scalar(BinOp("/", Literal(a), Literal(b)), None, {})
+    return fn({})
+
+
+def kernel_divide(a, b):
+    """Evaluate ``a / b`` through the kernel's vectorized calc.divide."""
+    def as_bat(value):
+        if isinstance(value, int):
+            return BAT.from_array(np.asarray([value], dtype=np.int64), Atom.INT)
+        return BAT.from_array(np.asarray([value], dtype=np.float64), Atom.FLT)
+
+    return calc.divide(as_bat(a), as_bat(b)).to_list()[0]
+
+
+@given(numbers, numbers)
+def test_division_matches_kernel(a, b):
+    expected = kernel_divide(a, b)
+    actual = dsms_divide(a, b)
+    assert actual is not None
+    assert isinstance(actual, float)
+    if math.isnan(expected):
+        assert math.isnan(actual)
+    else:
+        assert actual == expected
+
+
+@given(numbers)
+def test_zero_divisor_is_inband_nan(a):
+    for zero in (0, 0.0, -0.0):
+        assert math.isnan(dsms_divide(a, zero))
+        assert math.isnan(kernel_divide(a, zero))
+
+
+def test_quotient_is_always_float():
+    assert dsms_divide(7, 2) == 3.5
+    assert isinstance(dsms_divide(8, 2), float)
+    assert kernel_divide(7, 2) == 3.5

@@ -1,0 +1,118 @@
+"""The ``repro lint`` driver: harvesting, CLI exit codes, --dump output."""
+
+import io
+from pathlib import Path
+
+from repro import DataCellEngine
+from repro.analysis.lint import (
+    harvest_benchmarks,
+    harvest_python_file,
+    lint_sql,
+    run_lint_cli,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run(argv):
+    out = io.StringIO()
+    code = run_lint_cli(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_lint_all_examples_and_benchmarks_pass():
+    code, output = run([str(REPO / "examples"), str(REPO / "benchmarks")])
+    assert code == 0, output
+    assert "0 failed" in output
+    # every example file with a submit() contributes at least one query
+    assert "quickstart.py" in output
+    assert "conftest.py" in output
+
+
+def test_lint_explicit_sql_ok():
+    code, output = run(
+        [
+            "--sql",
+            "SELECT sensor, avg(value) FROM r [RANGE 100 SLIDE 10] GROUP BY sensor",
+            "--stream",
+            "r(sensor int, value float)",
+        ]
+    )
+    assert code == 0
+    assert output.startswith("ok:")
+
+
+def test_lint_dump_prints_typed_programs():
+    code, output = run(
+        [
+            "--sql",
+            "SELECT avg(value) FROM r [RANGE 100 SLIDE 10]",
+            "--stream",
+            "r(sensor int, value float)",
+            "--dump",
+        ]
+    )
+    assert code == 0
+    assert "== combine (per slide) ==" in output
+    assert ":flt" in output  # inferred atom annotations
+    assert "#merge" in output  # cost tags
+
+
+def test_lint_unplannable_sql_fails():
+    code, output = run(
+        ["--sql", "SELECT nope FROM r [RANGE 4 SLIDE 2]", "--stream", "r(a int)"]
+    )
+    assert code == 1
+    assert "FAIL" in output and "does not plan" in output
+
+
+def test_lint_missing_target_errors():
+    code, output = run([str(REPO / "no_such_dir_xyz")])
+    assert code != 0 or "does not exist" in output
+
+
+def test_harvest_resolves_fstring_sql(tmp_path):
+    source = tmp_path / "example.py"
+    source.write_text(
+        "SCALE = 1_024\n"
+        "def main():\n"
+        "    step = SCALE // 8\n"
+        "    engine.create_stream('w', [('a', 'int'), ('b', 'float')])\n"
+        "    engine.submit(\n"
+        "        f'SELECT sum(a) FROM w [RANGE {SCALE} SLIDE {step}]'\n"
+        "    )\n"
+    )
+    harvest = harvest_python_file(source)
+    assert harvest.streams == [("w", [("a", "int"), ("b", "float")])]
+    assert harvest.queries == ["SELECT sum(a) FROM w [RANGE 1024 SLIDE 128]"]
+    assert harvest.skipped == 0
+
+
+def test_harvest_skips_dynamic_sql(tmp_path):
+    source = tmp_path / "example.py"
+    source.write_text(
+        "engine.create_stream('w', [('a', 'int')])\n"
+        "engine.submit(make_sql())\n"
+    )
+    harvest = harvest_python_file(source)
+    assert harvest.queries == []
+    assert harvest.skipped == 1
+
+
+def test_harvest_benchmarks_yields_all_builders():
+    result = harvest_benchmarks(REPO / "benchmarks")
+    assert result is not None
+    engine, queries = result
+    assert isinstance(engine, DataCellEngine)
+    assert len(queries) >= 3  # q1, q2, q3
+    assert all("SELECT" in q.upper() for q in queries)
+
+
+def test_lint_sql_warns_on_unsupported_but_does_not_fail():
+    engine = DataCellEngine()
+    engine.create_stream("s", [("a", "int")])
+    # a stream scan without a window clause is outside the rewritable class
+    report, dump = lint_sql(engine, "SELECT count(*) FROM s")
+    assert report.ok
+    assert any("not rewritable" in d.message for d in report.warnings())
+    assert dump is None
