@@ -1,0 +1,215 @@
+"""Multi-query scale-up — parallel firing × cross-query fragment sharing.
+
+The paper's Petri-net scheduler exists so *many* continuous queries can be
+enabled at once (§2), and its incremental design caches per-basic-window
+partials so work happens once per arrival (§3).  This benchmark measures
+the two engine features that exploit that at fleet scale:
+
+* ``Scheduler(workers=N)`` — ready factories fire concurrently on a
+  thread pool;
+* the shared :class:`~repro.core.partials.FragmentCache` — queries whose
+  per-basic-window fragments are alpha-equivalent compute each basic
+  window's bundle once, engine-wide.
+
+Sweep: fleet size (identical queries over one shared stream) × worker
+count × sharing on/off.  Reported per configuration: total wall time,
+throughput (query·tuples/s), speedup vs the sequential unshared baseline,
+and the fragment-cache hit rate (from the profiler counters).
+
+Runs standalone too::
+
+    python benchmarks/bench_multiquery_scaleup.py [--smoke]
+
+``--smoke`` is the CI mode: a seconds-scale sweep that still exercises the
+parallel path and checks the sharing invariants.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import DataCellEngine
+from repro.bench import report
+
+# Paper-style Q1 shape (selection + grouped aggregation); the threshold
+# keeps ~80% of tuples so the fragment does real work per basic window.
+WINDOW = 25_600
+STEP = 6_400
+WINDOWS = 6
+THRESHOLD = 20
+DOMAIN = 100
+
+FLEETS = [1, 4, 16]
+WORKER_COUNTS = [1, 4]
+
+SMOKE_SCALE = 8  # divide window/step by this in --smoke mode
+
+
+def _workload(total: int, seed: int = 5) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "x1": rng.integers(0, DOMAIN, total),
+        "x2": rng.integers(0, 50, total),
+    }
+
+
+def _sql(window: int, step: int) -> str:
+    return (
+        f"SELECT x1, sum(x2) FROM stream [RANGE {window} SLIDE {step}] "
+        f"WHERE x1 > {THRESHOLD} GROUP BY x1"
+    )
+
+
+def run_fleet(
+    queries: int,
+    workers: int,
+    sharing: bool,
+    window: int = WINDOW,
+    step: int = STEP,
+    windows: int = WINDOWS,
+    columns: dict[str, np.ndarray] | None = None,
+) -> dict[str, float]:
+    """One configuration: returns wall time, throughput and cache stats."""
+    total = window + (windows - 1) * step
+    if columns is None:
+        columns = _workload(total)
+    engine = DataCellEngine(workers=workers, fragment_sharing=sharing)
+    engine.create_stream("stream", [("x1", "int"), ("x2", "int")])
+    handles = [engine.submit(_sql(window, step)) for __ in range(queries)]
+    try:
+        start = time.perf_counter()
+        fed = 0
+        for index in range(windows):
+            take = window if index == 0 else step
+            engine.feed(
+                "stream",
+                columns={name: vals[fed:fed + take] for name, vals in columns.items()},
+            )
+            fed += take
+            engine.run_until_idle()
+        elapsed = time.perf_counter() - start
+        for handle in handles:
+            if len(handle.results()) != windows:
+                raise AssertionError(
+                    f"{handle.name} produced {len(handle.results())} windows, "
+                    f"expected {windows}"
+                )
+        stats = engine.fragment_cache.stats()
+    finally:
+        engine.close()
+    return {
+        "seconds": elapsed,
+        "throughput": queries * total / elapsed,
+        "hit_rate": stats["hit_rate"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+    }
+
+
+def sweep(window: int = WINDOW, step: int = STEP, windows: int = WINDOWS) -> list[tuple]:
+    """The full grid; one shared workload so every config sees one stream."""
+    total = window + (windows - 1) * step
+    columns = _workload(total)
+    rows = []
+    for fleet in FLEETS:
+        base = run_fleet(fleet, 1, False, window, step, windows, columns)
+        for workers in WORKER_COUNTS:
+            for sharing in (False, True):
+                if workers == 1 and not sharing:
+                    run = base
+                else:
+                    run = run_fleet(
+                        fleet, workers, sharing, window, step, windows, columns
+                    )
+                rows.append(
+                    (
+                        fleet,
+                        workers,
+                        "on" if sharing else "off",
+                        run["seconds"],
+                        run["throughput"],
+                        base["seconds"] / run["seconds"],
+                        run["hit_rate"],
+                    )
+                )
+    return rows
+
+
+def check_rows(rows: list[tuple], min_speedup: float = 1.5) -> None:
+    """The acceptance invariants of the sweep."""
+    by_config = {(r[0], r[1], r[2]): r for r in rows}
+    fleet = max(r[0] for r in rows)
+    best = by_config[(fleet, max(WORKER_COUNTS), "on")]
+    assert best[5] >= min_speedup, (
+        f"{fleet} queries / {max(WORKER_COUNTS)} workers + sharing: "
+        f"{best[5]:.2f}x < {min_speedup}x over the sequential unshared baseline"
+    )
+    assert best[6] > 0.9, f"hit rate {best[6]:.3f} <= 0.9 for an identical-query fleet"
+    # sharing is off in the baseline rows
+    assert by_config[(fleet, 1, "off")][6] == 0.0
+
+
+HEADERS = ["queries", "workers", "sharing", "total s", "q·tuples/s", "speedup", "hit rate"]
+
+
+def _report(
+    rows: list[tuple],
+    name: str = "multiquery_scaleup",
+    window: int = WINDOW,
+    step: int = STEP,
+    windows: int = WINDOWS,
+) -> None:
+    report(
+        name,
+        "Multi-query scale-up — fleet size × workers × fragment sharing "
+        f"(Q1 shape, |W|={window}, |w|={step}, {windows} windows; speedup vs "
+        "workers=1/sharing=off at the same fleet size)",
+        HEADERS,
+        [
+            (fleet, workers, sharing, secs, int(tput), f"{speed:.2f}x", f"{hit:.3f}")
+            for fleet, workers, sharing, secs, tput, speed, hit in rows
+        ],
+    )
+
+
+class TestMultiQueryScaleup:
+    def test_scaleup_grid(self, benchmark):
+        rows = sweep()
+        _report(rows)
+        check_rows(rows)
+        benchmark.pedantic(
+            lambda: run_fleet(max(FLEETS), max(WORKER_COUNTS), True),
+            rounds=2,
+            iterations=1,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI sweep (scaled-down windows, relaxed speedup floor)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        window, step = WINDOW // SMOKE_SCALE, STEP // SMOKE_SCALE
+        rows = sweep(window, step, windows=3)
+        _report(rows, "multiquery_scaleup_smoke", window, step, 3)
+        # Thread-pool overhead can dominate at smoke scale; still require
+        # the shared configs to win and the cache to behave.
+        check_rows(rows, min_speedup=1.1)
+    else:
+        rows = sweep()
+        _report(rows)
+        check_rows(rows)
+    print("\nmulti-query scale-up invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

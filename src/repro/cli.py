@@ -21,6 +21,10 @@ Commands (case-insensitive keywords; one per line)::
 The console is a thin veneer: every command maps 1:1 onto a
 :class:`repro.DataCellEngine` method, so scripts double as API examples.
 
+``python -m repro --workers N [script...]`` runs the console's engine with
+a parallel firing scheduler (N worker threads); the default (1) is the
+deterministic sequential mode.
+
 ``python -m repro lint [...]`` is a separate subcommand that statically
 verifies rewritten plans (see :mod:`repro.analysis.lint`).
 """
@@ -59,8 +63,8 @@ def _parse_schema(text: str) -> tuple[str, list[tuple[str, str]]]:
 class Console:
     """The command interpreter; one instance owns one engine."""
 
-    def __init__(self, out: Optional[TextIO] = None) -> None:
-        self.engine = DataCellEngine()
+    def __init__(self, out: Optional[TextIO] = None, workers: int = 1) -> None:
+        self.engine = DataCellEngine(workers=workers)
         self.out = out if out is not None else sys.stdout
         self._done = False
 
@@ -222,7 +226,25 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.analysis.lint import run_lint_cli
 
         return run_lint_cli(argv[1:])
-    console = Console()
+    workers = 1
+    while argv and argv[0].startswith("--workers"):
+        flag = argv.pop(0)
+        if "=" in flag:
+            value = flag.split("=", 1)[1]
+        elif argv:
+            value = argv.pop(0)
+        else:
+            print("error: --workers needs a value", file=sys.stderr)
+            return 2
+        try:
+            workers = int(value)
+            if workers < 1:
+                raise ValueError
+        except ValueError:
+            print(f"error: --workers needs a positive integer, got {value!r}",
+                  file=sys.stderr)
+            return 2
+    console = Console(workers=workers)
     if argv:
         for path in argv:
             with open(path) as script:

@@ -35,9 +35,11 @@ import numpy as np
 from repro.core.basket import Basket
 from repro.core.emitter import CollectingEmitter
 from repro.core.factory import FactoryBase, IncrementalFactory, ResultBatch
+from repro.core.partials import FragmentCache
 from repro.core.receptor import Receptor
 from repro.core.reevaluate import ReevalFactory
 from repro.core.rewriter import rewrite
+from repro.core.rewriter.canonical import fragment_fingerprint
 from repro.core.scheduler import Scheduler
 from repro.errors import CatalogError, ReproError, UnsupportedQueryError
 from repro.kernel.atoms import Atom
@@ -46,7 +48,7 @@ from repro.kernel.execution.interpreter import Interpreter
 from repro.kernel.storage import Catalog, Schema, Table
 from repro.sql.logical import find_scans, pretty_plan
 from repro.sql.optimizer import optimize
-from repro.sql.physical import compile_full
+from repro.sql.physical import compile_full, scan_slot
 from repro.sql.planner import plan_query
 
 _ATOM_NAMES = {
@@ -113,17 +115,32 @@ class DataCellEngine:
     that catches rewriter regressions before a factory ever fires.  The
     default follows the ``REPRO_VERIFY_PLANS`` environment variable
     (``1``/``true``/``yes``/``on`` enables it).
+
+    ``workers`` sets the scheduler's firing parallelism (1 = the
+    deterministic sequential mode, N > 1 fires ready factories
+    concurrently on a thread pool).  ``fragment_sharing`` (default on)
+    lets queries whose per-basic-window fragments are equivalent share one
+    computation per basic window through an engine-wide
+    :class:`FragmentCache`; it never changes results, only work.
     """
 
-    def __init__(self, verify_plans: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        verify_plans: Optional[bool] = None,
+        workers: int = 1,
+        fragment_sharing: bool = True,
+    ) -> None:
         if verify_plans is None:
             flag = os.environ.get("REPRO_VERIFY_PLANS", "")
             verify_plans = flag.strip().lower() in ("1", "true", "yes", "on")
         self.verify_plans = verify_plans
+        self.fragment_sharing = fragment_sharing
         self.catalog = Catalog()
-        self.scheduler = Scheduler()
+        self.scheduler = Scheduler(workers=workers)
+        self.fragment_cache = FragmentCache()
         self._queries: dict[str, ContinuousQuery] = {}
         self._stream_baskets: dict[str, list[Basket]] = {}
+        self._stream_fed: dict[str, int] = {}
         self._query_counter = 0
         self._interp = Interpreter()
 
@@ -134,6 +151,7 @@ class DataCellEngine:
         """Declare a stream with ``[(column, type), ...]``."""
         self.catalog.create_stream(name, _as_schema(columns))
         self._stream_baskets[name] = []
+        self._stream_fed[name] = 0
 
     def create_table(self, name: str, columns: Sequence[tuple[str, object]]) -> Table:
         """Create a persistent base table."""
@@ -201,6 +219,8 @@ class DataCellEngine:
                 }
                 check_plan(plan, schemas)
             factory = IncrementalFactory(plan, baskets, tables, name=query_name)
+            if self.fragment_sharing and plan.fragment is not None:
+                self._enable_sharing(factory, plan)
         else:
             factory = ReevalFactory(planned, baskets, tables, name=query_name)
 
@@ -209,6 +229,32 @@ class DataCellEngine:
         handle = ContinuousQuery(query_name, sql, mode, factory, emitter, baskets)
         self._queries[query_name] = handle
         return handle
+
+    def _enable_sharing(self, factory: IncrementalFactory, plan) -> None:
+        """Register a single-stream factory with the shared fragment cache.
+
+        The share key is ``(stream relation, basic-window geometry,
+        canonical fragment fingerprint)``: queries collide exactly when
+        they run the same computation over the same basic-window slices —
+        window *size* may differ, only the step must match.  Spans are
+        anchored at the stream's global arrival offset so queries
+        submitted at different times never alias each other's windows.
+        """
+        alias = plan.stream_aliases[0]
+        relation = plan.stream_relations[alias]
+        window = plan.windows[alias]
+        input_names = {
+            scan_slot(alias, column): column for column in plan.scan_columns[alias]
+        }
+        fingerprint = fragment_fingerprint(plan.fragment, input_names)
+        key = (relation, window.step, window.time_based, fingerprint)
+        # Keep one ring slot per live basic window (landmark queries read
+        # each basic window once, a short ring is plenty for them).
+        capacity = window.basic_windows or 8
+        self.fragment_cache.register(key, capacity)
+        factory.enable_fragment_sharing(
+            self.fragment_cache, key, self._stream_fed.get(relation, 0)
+        )
 
     def remove(self, name: str) -> None:
         """Unregister a continuous query and release its baskets."""
@@ -242,13 +288,20 @@ class DataCellEngine:
         baskets = self._stream_baskets[stream]
         if rows is not None:
             rows = list(rows)
-        count = 0
+            count = len(rows)
+        else:
+            assert columns is not None
+            lengths = {len(values) for values in columns.values()}
+            count = lengths.pop() if len(lengths) == 1 else 0
         for basket in baskets:
             if rows is not None:
-                count = basket.append_rows(rows, timestamps)
+                basket.append_rows(rows, timestamps)
             else:
-                assert columns is not None
-                count = basket.append_columns(columns, timestamps)
+                basket.append_columns(columns, timestamps)
+        # Advance the stream's global arrival offset even when no query is
+        # bound yet: fragment-cache spans of queries submitted later must
+        # stay aligned with queries that did see these tuples.
+        self._stream_fed[stream] += count
         return count
 
     def advance_time(self, stream: str, ts: int) -> None:
@@ -263,7 +316,15 @@ class DataCellEngine:
             basket.advance_watermark(ts)
 
     def receptor(self, query: ContinuousQuery, stream_alias: str) -> Receptor:
-        """A receptor bound to one query's basket (threaded ingest)."""
+        """A receptor bound to one query's basket (threaded ingest).
+
+        A receptor appends to *one* query's basket, bypassing
+        :meth:`feed`'s fan-out, so this query's arrival offsets stop
+        describing the same data as its neighbours' — fragment sharing is
+        switched off for it.
+        """
+        if isinstance(query.factory, IncrementalFactory):
+            query.factory.disable_fragment_sharing()
         return Receptor(query.baskets[stream_alias])
 
     def run_until_idle(self) -> int:
@@ -276,6 +337,11 @@ class DataCellEngine:
 
     def stop(self, drain: bool = True) -> None:
         self.scheduler.stop(drain=drain)
+
+    def close(self) -> None:
+        """Stop background work and release the scheduler's worker pool."""
+        self.scheduler.stop(drain=False)
+        self.scheduler.close()
 
     # ------------------------------------------------------------------
     # one-time queries & introspection

@@ -26,7 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.basket import Basket
-from repro.core.partials import Bundle, PairStore, PartialStore
+from repro.core.partials import Bundle, FragmentCache, PairStore, PartialStore, ShareKey
 from repro.core.rewriter.incremental import IncrementalPlan, packed, prep_slot
 from repro.errors import SchedulerError, UnsupportedQueryError
 from repro.kernel.algebra.setops import concat
@@ -120,6 +120,13 @@ class IncrementalFactory(FactoryBase):
         self._interp = Interpreter()
         self._initialized = False
         self.window_index = 0
+        # Cross-query fragment sharing (single-stream queries only): the
+        # engine wires a shared cache + key; ``_consumed`` tracks this
+        # factory's position on the stream's global arrival axis so basic
+        # windows can be addressed by (start offset, tuple count).
+        self._fragment_cache: Optional[FragmentCache] = None
+        self._share_key: Optional[ShareKey] = None
+        self._consumed: dict[str, int] = {alias: 0 for alias in plan.stream_aliases}
         self._slicers: dict[str, _TimeSlicer] = {}
         for alias, window in plan.windows.items():
             if alias not in baskets:
@@ -192,34 +199,83 @@ class IncrementalFactory(FactoryBase):
         self._initialized = True
         return batch
 
+    # -- fragment sharing ---------------------------------------------------
+    def enable_fragment_sharing(
+        self, cache: FragmentCache, key: ShareKey, base_offset: int = 0
+    ) -> None:
+        """Share per-basic-window fragment bundles through ``cache``.
+
+        ``base_offset`` is the stream's global tuple count at the moment
+        this factory's basket was bound, so spans line up with factories
+        registered earlier.  Single-stream plans only.
+        """
+        if self.plan.is_join:
+            raise UnsupportedQueryError("fragment sharing needs a single stream")
+        alias = self.plan.stream_aliases[0]
+        self._fragment_cache = cache
+        self._share_key = key
+        self._consumed[alias] = base_offset
+
+    def disable_fragment_sharing(self) -> None:
+        """Stop consulting the shared cache (e.g. a receptor now feeds
+        this factory's basket directly, so spans no longer describe the
+        same data across queries)."""
+        self._fragment_cache = None
+        self._share_key = None
+
+    @property
+    def shares_fragments(self) -> bool:
+        return self._fragment_cache is not None
+
     # -- single stream ------------------------------------------------------
     def _step_single(self, profiler: Profiler) -> None:
         alias = self.plan.stream_aliases[0]
-        for cols in self._take_basic_windows(alias):
-            bundle = self._run_fragment(alias, cols, profiler)
+        for start, cols in self._take_basic_windows(alias):
+            bundle = self._fragment_bundle(alias, start, cols, profiler)
             self._store.add(bundle)
 
-    def _take_basic_windows(self, alias: str) -> list[dict[str, BAT]]:
-        """Slice (and consume) the basic windows owed for this step."""
-        window = self.plan.windows[alias]
+    def _fragment_bundle(
+        self, alias: str, start: int, cols: dict[str, BAT], profiler: Profiler
+    ) -> Bundle:
+        """One basic window's bundle, shared across queries when enabled."""
+        if self._fragment_cache is None:
+            return self._run_fragment(alias, cols, profiler)
+        count = len(next(iter(cols.values()))) if cols else 0
+        return self._fragment_cache.get_or_compute(
+            self._share_key,
+            (start, count),
+            lambda: self._run_fragment(alias, cols, profiler),
+            profiler,
+        )
+
+    def _take_basic_windows(self, alias: str) -> list[tuple[int, dict[str, BAT]]]:
+        """Slice (and consume) the basic windows owed for this step.
+
+        Returns ``(global start offset, columns)`` per basic window; the
+        offset addresses the slice on the stream's arrival axis (for the
+        shared fragment cache).
+        """
         basket = self._baskets[alias]
         columns = self.plan.scan_columns[alias]
-        slices: list[dict[str, BAT]] = []
+        slices: list[tuple[int, dict[str, BAT]]] = []
         counts = self._owed_counts(alias)
         with basket.locked():
             for count in counts:
                 # Materialize each slice: delete_head compacts the basket's
                 # buffers in place, which would corrupt zero-copy views.
                 slices.append(
-                    {
-                        scan_slot(alias, col): BAT(
-                            np.array(bat.tail, copy=True), bat.atom, bat.hseq
-                        )
-                        for col, bat in basket.head_slice(count, columns).items()
-                    }
+                    (
+                        self._consumed[alias],
+                        {
+                            scan_slot(alias, col): BAT(
+                                np.array(bat.tail, copy=True), bat.atom, bat.hseq
+                            )
+                            for col, bat in basket.head_slice(count, columns).items()
+                        },
+                    )
                 )
                 basket.delete_head(count)
-        del window
+                self._consumed[alias] += count
         return slices
 
     def _owed_counts(self, alias: str) -> list[int]:
@@ -268,7 +324,7 @@ class IncrementalFactory(FactoryBase):
         for alias in self.plan.stream_aliases:
             store = self._prep_stores[alias]
             seqs = []
-            for cols in self._take_basic_windows(alias):
+            for __, cols in self._take_basic_windows(alias):
                 bundle = self._run_prep(alias, cols, profiler)
                 seqs.append(store.add(bundle))
             new_bundles[alias] = seqs
@@ -499,6 +555,9 @@ class IncrementalFactory(FactoryBase):
         sizes[-1] += step_size - chunk * m
         chunk_bundles: list[Bundle] = []
         pre_profiler = Profiler()
+        # Chunk slices are not basic-window aligned, so the shared fragment
+        # cache is bypassed — but the consumed offset still advances so a
+        # later plain step() addresses its spans correctly.
         with basket.locked():
             for size in sizes[:-1]:
                 cols = {
@@ -507,6 +566,7 @@ class IncrementalFactory(FactoryBase):
                 }
                 chunk_bundles.append(self._run_fragment(alias, cols, pre_profiler))
                 basket.delete_head(size)
+                self._consumed[alias] += size
             # ---- response-time window starts with the last chunk ----
             start = time.perf_counter()
             cols = {
@@ -515,6 +575,7 @@ class IncrementalFactory(FactoryBase):
             }
             chunk_bundles.append(self._run_fragment(alias, cols, profiler))
             basket.delete_head(sizes[-1])
+            self._consumed[alias] += sizes[-1]
         if m > 1:
             packed_cols = self._pack_flows(chunk_bundles, profiler)
             combined = self._interp.run(self.plan.combine, packed_cols, profiler)

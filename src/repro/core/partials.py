@@ -9,16 +9,27 @@ bundle per *pair* of basic windows, expiring a pair when either side does.
 
 A *bundle* is a dict ``flow name → BAT`` — the cached output of one
 per-basic-window (or per-pair) plan fragment.
+
+:class:`FragmentCache` extends the same idea *across* queries: factories
+whose per-basic-window fragments are alpha-equivalent over the same stream
+compute each basic window's bundle once and share the result (BATs are
+immutable, so sharing is zero-copy).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Hashable, Optional
 
 from repro.errors import SchedulerError
 from repro.kernel.bat import BAT
+from repro.kernel.execution.profiler import (
+    COUNTER_CACHE_HITS,
+    COUNTER_CACHE_MISSES,
+    Profiler,
+)
 
 Bundle = dict[str, BAT]
 
@@ -123,3 +134,124 @@ class PairStore:
 
     def __len__(self) -> int:
         return len(self._bundles)
+
+
+# ----------------------------------------------------------------------
+# cross-query fragment sharing
+# ----------------------------------------------------------------------
+#: Identifies a shareable fragment computation: queries collide when they
+#: read the same stream, slice it with the same basic-window step, and
+#: their fragment programs canonicalize to the same fingerprint (see
+#: :mod:`repro.core.rewriter.canonical`).
+ShareKey = Hashable
+
+#: One basic window's coordinates on a stream's global arrival axis:
+#: ``(start offset, tuple count)``.  Exact-range keying makes sharing safe
+#: even between queries registered at different times — ranges that do not
+#: line up simply never collide.
+Span = tuple[int, int]
+
+
+@dataclass
+class _FragmentGroup:
+    """Entries and bookkeeping of one share key."""
+
+    capacity: int
+    bundles: "OrderedDict[Span, Bundle]" = field(default_factory=OrderedDict)
+    # Per-span compute locks: the first factory to miss computes, factories
+    # arriving for the same span meanwhile block and then reuse the result.
+    pending: dict[Span, threading.Lock] = field(default_factory=dict)
+
+
+class FragmentCache:
+    """Cross-query cache of per-basic-window fragment bundles.
+
+    Lives in the engine; the scheduler's worker threads query it
+    concurrently.  Expiry mirrors :class:`PartialStore`'s seq discipline:
+    spans are produced in nondecreasing start order, so each group keeps
+    its most recent ``capacity`` entries by insertion order (``capacity``
+    is the largest live-basic-window count among the sharing queries — a
+    lagging factory that misses an evicted span just recomputes it).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._groups: dict[ShareKey, _FragmentGroup] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def register(self, key: ShareKey, capacity: int) -> None:
+        """Declare interest in a share key, widening its ring if needed."""
+        if capacity < 1:
+            raise SchedulerError(f"fragment cache capacity must be >= 1, got {capacity}")
+        with self._lock:
+            group = self._groups.get(key)
+            if group is None:
+                self._groups[key] = _FragmentGroup(capacity)
+            else:
+                group.capacity = max(group.capacity, capacity)
+
+    def get_or_compute(
+        self,
+        key: ShareKey,
+        span: Span,
+        compute: Callable[[], Bundle],
+        profiler: Optional[Profiler] = None,
+    ) -> Bundle:
+        """The bundle for ``span``, computing (once) on a miss.
+
+        Bundles are immutable by convention (dict of immutable BATs), so
+        the returned object is shared between all callers.
+        """
+        with self._lock:
+            try:
+                group = self._groups[key]
+            except KeyError:
+                raise SchedulerError(f"share key {key!r} was never registered") from None
+            bundle = group.bundles.get(span)
+            if bundle is not None:
+                return self._hit(span, bundle, profiler)
+            span_lock = group.pending.setdefault(span, threading.Lock())
+        with span_lock:
+            # Re-check: another thread may have computed while we waited.
+            with self._lock:
+                bundle = group.bundles.get(span)
+                if bundle is not None:
+                    return self._hit(span, bundle, profiler)
+            bundle = compute()
+            with self._lock:
+                group.bundles[span] = bundle
+                group.pending.pop(span, None)
+                while len(group.bundles) > group.capacity:
+                    group.bundles.popitem(last=False)
+                self.misses += 1
+            if profiler is not None:
+                profiler.count(COUNTER_CACHE_MISSES)
+            return bundle
+
+    def _hit(self, span: Span, bundle: Bundle, profiler: Optional[Profiler]) -> Bundle:
+        # Called under self._lock.
+        self.hits += 1
+        if profiler is not None:
+            profiler.count(COUNTER_CACHE_HITS)
+        return bundle
+
+    def stats(self) -> dict[str, float]:
+        """Totals for benchmark reporting."""
+        with self._lock:
+            entries = sum(len(g.bundles) for g in self._groups.values())
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "entries": entries,
+                "groups": len(self._groups),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            for group in self._groups.values():
+                group.bundles.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,0 +1,82 @@
+"""Canonical fingerprints of per-basic-window fragment programs.
+
+Two continuous queries can share one fragment computation per basic window
+iff their fragments are the *same function of the same stream columns* —
+regardless of the slot names the per-query compilers happened to generate
+(prefixes, instruction counters, scan aliases all differ between
+otherwise-identical queries).
+
+:func:`fragment_fingerprint` therefore alpha-renames a fragment into a
+canonical form before hashing:
+
+* input slots are renamed to the *stream column* they bind
+  (``s1__x2`` → ``in:x2``) — the alias disappears, the column stays;
+* every slot defined by an instruction is renamed ``v0, v1, ...`` in
+  definition order (programs are straight-line single-assignment, a
+  discipline checked by :mod:`repro.analysis.dataflow`, so definition
+  order is canonical);
+* literals are kept verbatim (repr + type, so ``1`` ≠ ``1.0`` ≠ ``"1"``);
+* declared outputs are listed in order under their canonical names.
+
+The SHA-256 of that text is the fingerprint.  Alpha-equivalent fragments
+hash equal; fragments differing in any constant, opcode, column binding or
+output arity hash apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+from repro.kernel.execution.program import Lit, Program, Ref
+
+
+def canonical_text(program: Program, input_names: Mapping[str, str]) -> str:
+    """The canonical (alpha-renamed) listing of ``program``.
+
+    ``input_names`` maps each program input slot to its stable external
+    name (for fragments: the stream column the factory binds to the slot).
+    Raises ``KeyError`` if an input slot has no stable name and
+    ``ValueError`` if the program reads an undefined slot (i.e. it would
+    not pass the dataflow checks).
+    """
+    rename: dict[str, str] = {}
+    for slot in program.inputs:
+        rename[slot] = f"in:{input_names[slot]}"
+    lines = [
+        "inputs " + " ".join(rename[slot] for slot in program.inputs),
+    ]
+    fresh = 0
+    for instr in program.instructions:
+        args = []
+        for operand in instr.args:
+            if isinstance(operand, Ref):
+                if operand.name not in rename:
+                    raise ValueError(
+                        f"{instr.opcode} reads undefined slot {operand.name!r}"
+                    )
+                args.append(rename[operand.name])
+            else:
+                assert isinstance(operand, Lit)
+                args.append(f"lit:{type(operand.value).__name__}:{operand.value!r}")
+        outs = []
+        for out in instr.outs:
+            if out in rename:
+                raise ValueError(f"slot {out!r} assigned twice; not canonicalizable")
+            rename[out] = f"v{fresh}"
+            fresh += 1
+            outs.append(rename[out])
+        lines.append(f"{' '.join(outs)} := {instr.opcode}({', '.join(args)})")
+    outputs = []
+    for out in program.outputs:
+        if out not in rename:
+            raise ValueError(f"program output {out!r} is never defined")
+        outputs.append(rename[out])
+    lines.append("outputs " + " ".join(outputs))
+    return "\n".join(lines)
+
+
+def fragment_fingerprint(program: Program, input_names: Mapping[str, str]) -> str:
+    """Stable hash of a fragment program modulo slot naming."""
+    text = canonical_text(program, input_names)
+    return hashlib.sha256(text.encode()).hexdigest()

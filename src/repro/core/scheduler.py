@@ -11,18 +11,33 @@ Two driving modes:
   feeding data, so response times are measured without thread noise;
 * background — examples start :meth:`start` / :meth:`stop` to process
   arrivals from receptor threads continuously.
+
+Both modes can additionally run **parallel**: with ``workers=N`` (N > 1) a
+scan fires all ready factories concurrently on a shared thread pool — the
+Petri net enables many transitions at once, and the numpy kernels release
+the GIL while baskets carry their own locks.  Every factory owns a
+*firing lock* so it never steps twice concurrently, no matter how many
+threads drive the scheduler; ``workers=1`` keeps the exact sequential
+firing order of the original scheduler.  In-flight work is bounded: a scan
+submits at most one firing per factory and joins them all before
+returning.
+
+Lock order (see DESIGN.md §6): firing lock → basket lock → fragment-cache
+locks.  A firing never touches another factory's firing lock, so the
+order is acyclic.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.factory import FactoryBase, ResultBatch
 from repro.errors import SchedulerError
-from repro.kernel.execution.profiler import Profiler
+from repro.kernel.execution.profiler import COUNTER_FIRINGS, Profiler
 
 ResultSink = Callable[[str, ResultBatch], None]
 
@@ -32,18 +47,38 @@ class _Registration:
     factory: FactoryBase
     sinks: list[ResultSink] = field(default_factory=list)
     steps: int = 0
+    # Held around ready()+step()+dispatch so a factory never fires twice
+    # concurrently — not from two pool workers, and not from a test thread
+    # calling run_once() while the background loop is scanning.
+    firing_lock: threading.Lock = field(default_factory=threading.Lock)
+    # Per-factory accumulation of firing profilers (timings + counters).
+    profiler: Profiler = field(default_factory=Profiler)
 
 
 class Scheduler:
-    """Fires ready factories and dispatches their results."""
+    """Fires ready factories and dispatches their results.
 
-    def __init__(self, max_steps_per_scan: int = 1_000_000) -> None:
+    ``workers`` sets the firing parallelism: 1 (default) is the
+    deterministic sequential mode; N > 1 fires ready factories
+    concurrently on a ``ThreadPoolExecutor`` of N threads.
+    """
+
+    def __init__(self, max_steps_per_scan: int = 1_000_000, workers: int = 1) -> None:
+        if workers < 1:
+            raise SchedulerError(f"workers must be >= 1, got {workers}")
         self._registrations: dict[str, _Registration] = {}
         self._lock = threading.RLock()
         self._thread: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
         self._max_steps_per_scan = max_steps_per_scan
+        self._workers = workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._worker_error: Optional[BaseException] = None
         self.profiler = Profiler()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
 
     # -- registration ------------------------------------------------------
     def register(self, factory: FactoryBase, *sinks: ResultSink) -> None:
@@ -64,27 +99,83 @@ class Scheduler:
         with self._lock:
             return list(self._registrations)
 
+    def factory_stats(self) -> dict[str, dict[str, float]]:
+        """Per-factory profiler snapshots (timings by tag + counters).
+
+        Counters include ``firings`` and, when fragment sharing is active,
+        ``fragment_cache_hits`` / ``fragment_cache_misses``.
+        """
+        with self._lock:
+            registrations = dict(self._registrations)
+        return {
+            name: registration.profiler.snapshot()
+            for name, registration in registrations.items()
+        }
+
     # -- synchronous driving ------------------------------------------------
     def run_once(self) -> int:
         """One scan: step every currently-ready factory once.
 
-        Returns the number of firings.
+        Returns the number of firings.  With ``workers > 1`` the firings
+        of one scan run concurrently; a factory that is already firing on
+        another thread is skipped (its owner will pick the work up).
         """
-        fired = 0
         with self._lock:
             registrations = list(self._registrations.values())
-        for registration in registrations:
-            factory = registration.factory
-            if factory.ready():
-                batch = factory.step(self.profiler)
-                if batch is not None:
-                    fired += 1
-                    registration.steps += 1
-                    self._dispatch(factory.name, registration, batch)
+        if self._workers == 1 or len(registrations) <= 1:
+            return sum(self._fire(registration) for registration in registrations)
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(self._fire, registration)
+            for registration in registrations
+        ]
+        fired = 0
+        errors: list[BaseException] = []
+        for future in futures:
+            try:
+                fired += future.result()
+            except Exception as exc:  # join the whole scan before raising
+                errors.append(exc)
+        if errors:
+            raise errors[0]
         return fired
 
+    def _fire(self, registration: _Registration) -> int:
+        """Fire one factory once if it is ready; returns 0 or 1."""
+        if not registration.firing_lock.acquire(blocking=False):
+            return 0  # already firing on another thread
+        try:
+            factory = registration.factory
+            if not factory.ready():
+                return 0
+            profiler = Profiler()
+            batch = factory.step(profiler)
+            if batch is None:
+                return 0
+            profiler.count(COUNTER_FIRINGS)
+            registration.steps += 1
+            registration.profiler.merge_from(profiler)
+            self.profiler.merge_from(profiler)
+            self._dispatch(factory.name, registration, batch)
+            return 1
+        finally:
+            registration.firing_lock.release()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._workers, thread_name_prefix="datacell-worker"
+                )
+            return self._executor
+
     def run_until_idle(self) -> int:
-        """Scan until no factory is ready; returns total firings."""
+        """Scan until no factory is ready; returns total firings.
+
+        Re-raises any exception captured by the background loop first, so
+        failures in threaded runs surface instead of being lost.
+        """
+        self._raise_worker_error()
         total = 0
         for __ in range(self._max_steps_per_scan):
             fired = self.run_once()
@@ -106,18 +197,43 @@ class Scheduler:
 
         def loop() -> None:
             while not self._stop_event.is_set():
-                if self.run_once() == 0:
+                try:
+                    fired = self.run_once()
+                except Exception as exc:
+                    with self._lock:
+                        self._worker_error = exc
+                    return
+                if fired == 0:
                     time.sleep(poll_interval)
 
         self._thread = threading.Thread(target=loop, name="datacell-scheduler", daemon=True)
         self._thread.start()
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the background loop (optionally draining ready work first)."""
+        """Stop the background loop (optionally draining ready work first).
+
+        If the loop died on an exception, that exception is re-raised here
+        (and draining is skipped — the engine is in an undefined state).
+        """
         if self._thread is None:
+            self._raise_worker_error()
             return
         self._stop_event.set()
         self._thread.join()
         self._thread = None
+        self._raise_worker_error()
         if drain:
             self.run_until_idle()
+
+    def _raise_worker_error(self) -> None:
+        with self._lock:
+            error, self._worker_error = self._worker_error, None
+        if error is not None:
+            raise error
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for sequential schedulers)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)

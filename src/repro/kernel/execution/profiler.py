@@ -5,12 +5,26 @@ DataCell's Figure 7 splits a sliding step's cost into the *main plan*
 transition administration).  The interpreter tags every executed
 instruction; this profiler accumulates wall time per tag and per opcode so
 benchmarks report measured — not modelled — breakdowns.
+
+Besides timings the profiler carries integer *counters* (factory firings,
+fragment-cache hits/misses, ...) so the parallel scheduler and the shared
+fragment cache can report their behaviour through the same channel.
+
+Thread-safety: the parallel scheduler merges per-firing profilers from
+worker threads into shared per-factory and global profilers, so every
+mutating or snapshotting method takes the instance lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
+
+#: Counter names used across the engine (any name is accepted).
+COUNTER_FIRINGS = "firings"
+COUNTER_CACHE_HITS = "fragment_cache_hits"
+COUNTER_CACHE_MISSES = "fragment_cache_misses"
 
 
 @dataclass
@@ -20,33 +34,69 @@ class Profiler:
     by_tag: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     by_opcode: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def __post_init__(self) -> None:
+        # RLock: merge_from(other) locks both sides and snapshot() is
+        # callable while the same thread holds the lock.
+        self._lock = threading.RLock()
 
     def record(self, tag: str, opcode: str, seconds: float) -> None:
-        self.by_tag[tag] += seconds
-        self.by_opcode[opcode] += seconds
-        self.calls[opcode] += 1
+        with self._lock:
+            self.by_tag[tag] += seconds
+            self.by_opcode[opcode] += seconds
+            self.calls[opcode] += 1
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        """Bump an integer counter (firings, cache hits, ...)."""
+        with self._lock:
+            self.counters[counter] += amount
 
     @property
     def total(self) -> float:
-        return sum(self.by_tag.values())
+        with self._lock:
+            return sum(self.by_tag.values())
 
     def tag_seconds(self, tag: str) -> float:
-        return self.by_tag.get(tag, 0.0)
+        with self._lock:
+            return self.by_tag.get(tag, 0.0)
+
+    def counter(self, counter: str) -> int:
+        with self._lock:
+            return self.counters.get(counter, 0)
 
     def merge_from(self, other: "Profiler") -> None:
-        """Fold another profiler's counters into this one."""
-        for tag, seconds in other.by_tag.items():
-            self.by_tag[tag] += seconds
-        for opcode, seconds in other.by_opcode.items():
-            self.by_opcode[opcode] += seconds
-        for opcode, count in other.calls.items():
-            self.calls[opcode] += count
+        """Fold another profiler's timings and counters into this one."""
+        with other._lock:
+            tags = dict(other.by_tag)
+            opcodes = dict(other.by_opcode)
+            calls = dict(other.calls)
+            counters = dict(other.counters)
+        with self._lock:
+            for tag, seconds in tags.items():
+                self.by_tag[tag] += seconds
+            for opcode, seconds in opcodes.items():
+                self.by_opcode[opcode] += seconds
+            for opcode, count in calls.items():
+                self.calls[opcode] += count
+            for counter, count in counters.items():
+                self.counters[counter] += count
 
     def snapshot(self) -> dict[str, float]:
-        """Plain-dict copy of the per-tag totals."""
-        return dict(self.by_tag)
+        """Plain-dict copy of the per-tag totals plus the counters.
+
+        Counter names never collide with cost tags (``main``/``merge``/
+        ``admin``), so benchmarks can keep reading tags out of the same
+        breakdown dict.
+        """
+        with self._lock:
+            snap: dict[str, float] = dict(self.by_tag)
+            snap.update(self.counters)
+            return snap
 
     def reset(self) -> None:
-        self.by_tag.clear()
-        self.by_opcode.clear()
-        self.calls.clear()
+        with self._lock:
+            self.by_tag.clear()
+            self.by_opcode.clear()
+            self.calls.clear()
+            self.counters.clear()

@@ -1,0 +1,315 @@
+"""Tests for the parallel firing scheduler.
+
+Covers: element-wise equivalence of ``workers=1`` / ``workers=N`` with the
+pre-scheduler direct-driving path (the Figure-4/6/7 query shapes), the
+per-factory firing lock (no double-stepping from concurrent drivers),
+worker-exception capture, profiler thread-safety, and a randomized
+multi-stream concurrency stress test.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import DataCellEngine
+from repro.core.factory import FactoryBase
+from repro.core.scheduler import Scheduler
+from repro.errors import SchedulerError
+from repro.kernel.execution.profiler import Profiler
+
+# The benchmark query shapes of Figures 4, 6 and 7 (scaled down): grouped
+# aggregation over a selection, global aggregates, and a landmark query.
+FIG_QUERIES = [
+    "SELECT x1, sum(x2) FROM s [RANGE 80 SLIDE 20] WHERE x1 > 3 GROUP BY x1",
+    "SELECT min(x1), max(x2), count(*) FROM s [RANGE 40 SLIDE 10]",
+    "SELECT max(x1), sum(x2) FROM s [LANDMARK SLIDE 25]",
+    "SELECT avg(x2) FROM s [RANGE 60 SLIDE 20] WHERE x2 > 10",
+]
+
+
+def _columns(count, seed):
+    rng = np.random.default_rng(seed)
+    return {
+        "x1": rng.integers(0, 10, count),
+        "x2": rng.integers(0, 50, count),
+    }
+
+
+def _engine(**kwargs):
+    engine = DataCellEngine(**kwargs)
+    engine.create_stream("s", [("x1", "int"), ("x2", "int")])
+    return engine
+
+
+def _run_workload(engine, queries, seed=11, chunks=8, chunk_size=50):
+    handles = [engine.submit(sql) for sql in queries]
+    for chunk in range(chunks):
+        engine.feed("s", columns=_columns(chunk_size, seed + chunk))
+        engine.run_until_idle()
+    return [handle.result_rows() for handle in handles]
+
+
+class TestWorkersEquivalence:
+    def test_workers1_matches_direct_factory_driving(self):
+        """The scheduler path equals the pre-scheduler harness path."""
+        via_scheduler = _run_workload(_engine(), FIG_QUERIES)
+        # Direct driving: the benchmark-harness idiom that bypasses the
+        # scheduler entirely (the pre-parallelism reference semantics).
+        engine = _engine(fragment_sharing=False)
+        handles = [engine.submit(sql) for sql in FIG_QUERIES]
+        for chunk in range(8):
+            engine.feed("s", columns=_columns(50, 11 + chunk))
+            for handle in handles:
+                while True:
+                    batch = handle.factory.step(Profiler())
+                    if batch is None:
+                        break
+                    handle.emitter(handle.name, batch)
+        direct = [handle.result_rows() for handle in handles]
+        assert via_scheduler == direct
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_sequential(self, workers):
+        sequential = _run_workload(_engine(workers=1), FIG_QUERIES)
+        parallel = _run_workload(_engine(workers=workers), FIG_QUERIES)
+        assert parallel == sequential
+
+    def test_parallel_without_sharing_matches(self):
+        sequential = _run_workload(_engine(workers=1, fragment_sharing=False), FIG_QUERIES)
+        parallel = _run_workload(_engine(workers=4, fragment_sharing=False), FIG_QUERIES)
+        assert parallel == sequential
+
+    def test_workers_validated(self):
+        with pytest.raises(SchedulerError):
+            Scheduler(workers=0)
+
+
+class _TracingFactory(FactoryBase):
+    """Counts concurrent step() entries; fails the test on overlap."""
+
+    def __init__(self, name="tracer", results=1):
+        self.name = name
+        self._remaining = results
+        self._inside = 0
+        self._lock = threading.Lock()
+        self.max_inside = 0
+        self.steps = 0
+
+    def ready(self):
+        return self._remaining > 0
+
+    def step(self, profiler=None):
+        with self._lock:
+            self._inside += 1
+            self.max_inside = max(self.max_inside, self._inside)
+        time.sleep(0.002)  # widen the race window
+        with self._lock:
+            self._inside -= 1
+            if self._remaining <= 0:
+                return None
+            self._remaining -= 1
+            self.steps += 1
+        from repro.core.factory import ResultBatch
+
+        return ResultBatch([], {}, 0, 0.0)
+
+
+class _ExplodingFactory(FactoryBase):
+    name = "boom"
+
+    def ready(self):
+        return True
+
+    def step(self, profiler=None):
+        raise RuntimeError("kernel exploded")
+
+
+class TestFiringLock:
+    @pytest.mark.concurrency
+    def test_concurrent_run_once_never_double_steps(self):
+        """The start()/run_once() race: a factory must not step twice
+        concurrently even with many threads scanning at once."""
+        scheduler = Scheduler()
+        tracer = _TracingFactory(results=200)
+        scheduler.register(tracer)
+        scheduler.start(poll_interval=0.0001)
+        try:
+            threads = [
+                threading.Thread(target=scheduler.run_once) for __ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            deadline = time.time() + 5.0
+            while time.time() < deadline and tracer.ready():
+                time.sleep(0.005)
+        finally:
+            scheduler.stop(drain=True)
+        assert tracer.max_inside == 1
+        assert tracer.steps == 200
+
+    @pytest.mark.concurrency
+    def test_parallel_scan_fires_each_factory_once(self):
+        scheduler = Scheduler(workers=4)
+        tracers = [_TracingFactory(f"t{i}", results=3) for i in range(6)]
+        for tracer in tracers:
+            scheduler.register(tracer)
+        total = scheduler.run_until_idle()
+        scheduler.close()
+        assert total == 18
+        assert all(t.max_inside == 1 for t in tracers)
+
+
+class TestWorkerExceptions:
+    def test_stop_reraises_background_error(self):
+        scheduler = Scheduler()
+        scheduler.register(_ExplodingFactory())
+        scheduler.start(poll_interval=0.0001)
+        deadline = time.time() + 5.0
+        while time.time() < deadline and scheduler._thread.is_alive():
+            time.sleep(0.005)
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            scheduler.stop(drain=True)
+        # The error is surfaced once, not resurfaced forever.
+        scheduler.stop()
+
+    def test_run_until_idle_reraises_background_error(self):
+        scheduler = Scheduler()
+        scheduler.register(_ExplodingFactory())
+        scheduler.start(poll_interval=0.0001)
+        deadline = time.time() + 5.0
+        while time.time() < deadline and scheduler._thread.is_alive():
+            time.sleep(0.005)
+        scheduler._stop_event.set()
+        scheduler._thread.join()
+        scheduler._thread = None
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            scheduler.run_until_idle()
+
+    def test_parallel_run_once_propagates(self):
+        scheduler = Scheduler(workers=2)
+        scheduler.register(_ExplodingFactory())
+        scheduler.register(_TracingFactory("ok", results=1))
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            scheduler.run_once()
+        scheduler.close()
+
+
+class TestSchedulerStats:
+    def test_factory_stats_counters(self):
+        engine = _engine()
+        engine.submit("SELECT count(*) FROM s [RANGE 40 SLIDE 20]")
+        engine.submit("SELECT count(*) FROM s [RANGE 40 SLIDE 20]")
+        engine.feed("s", columns=_columns(100, 3))
+        engine.run_until_idle()
+        stats = engine.scheduler.factory_stats()
+        assert stats["q1"]["firings"] == 4
+        assert stats["q2"]["firings"] == 4
+        # q2 reuses every basic window q1 computed.
+        assert stats["q2"].get("fragment_cache_hits", 0) == 5
+        assert engine.scheduler.profiler.counter("firings") == 8
+
+
+class TestProfilerThreadSafety:
+    @pytest.mark.concurrency
+    def test_concurrent_record_and_merge(self):
+        shared = Profiler()
+        gate = threading.Barrier(8)
+
+        def hammer(i):
+            gate.wait()
+            local = Profiler()
+            for __ in range(500):
+                local.record("main", f"op{i}", 0.001)
+                local.count("firings")
+            shared.merge_from(local)
+            for __ in range(500):
+                shared.record("merge", f"op{i}", 0.001)
+                shared.count("firings")
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shared.counter("firings") == 8 * 1000
+        assert shared.calls["op3"] == 1000
+        assert abs(shared.tag_seconds("main") - 8 * 0.5) < 1e-9
+        assert abs(shared.tag_seconds("merge") - 8 * 0.5) < 1e-9
+
+
+@pytest.mark.concurrency
+class TestConcurrencyStress:
+    def test_multistream_fleet_matches_sequential(self):
+        """Multiple streams × multiple queries × random interleaved appends:
+        workers=4 results must equal workers=1 element-wise."""
+
+        def build(workers):
+            engine = DataCellEngine(workers=workers)
+            engine.create_stream("a", [("x1", "int"), ("x2", "int")])
+            engine.create_stream("b", [("x1", "int"), ("x2", "int")])
+            handles = []
+            for stream in ("a", "b"):
+                handles.append(engine.submit(
+                    f"SELECT x1, sum(x2) FROM {stream} [RANGE 60 SLIDE 20] "
+                    "WHERE x1 > 2 GROUP BY x1"
+                ))
+                handles.append(engine.submit(
+                    f"SELECT count(*), max(x2) FROM {stream} [RANGE 40 SLIDE 10]"
+                ))
+                handles.append(engine.submit(
+                    f"SELECT x1, sum(x2) FROM {stream} [RANGE 60 SLIDE 20] "
+                    "WHERE x1 > 2 GROUP BY x1"
+                ))
+            return engine, handles
+
+        def drive(engine):
+            rng = np.random.default_rng(42)  # same append schedule both runs
+            for __ in range(60):
+                stream = "a" if rng.integers(0, 2) else "b"
+                count = int(rng.integers(1, 40))
+                engine.feed(stream, columns={
+                    "x1": rng.integers(0, 10, count),
+                    "x2": rng.integers(0, 50, count),
+                })
+                if rng.integers(0, 3) == 0:
+                    engine.run_until_idle()
+            engine.run_until_idle()
+
+        sequential_engine, sequential = build(1)
+        drive(sequential_engine)
+        parallel_engine, parallel = build(4)
+        drive(parallel_engine)
+        try:
+            for seq_handle, par_handle in zip(sequential, parallel):
+                assert seq_handle.result_rows() == par_handle.result_rows()
+            assert parallel_engine.fragment_cache.stats()["hits"] > 0
+        finally:
+            parallel_engine.close()
+            sequential_engine.close()
+
+    def test_background_parallel_with_feeder_threads(self):
+        """Background loop + parallel firing + concurrent feeders."""
+        engine = _engine(workers=4)
+        queries = [engine.submit(
+            "SELECT x1, sum(x2) FROM s [RANGE 40 SLIDE 20] WHERE x1 > 3 GROUP BY x1"
+        ) for __ in range(4)]
+        engine.start()
+        try:
+            for chunk in range(10):
+                engine.feed("s", columns=_columns(40, 100 + chunk))
+                time.sleep(0.002)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and any(
+                len(q.results()) < 19 for q in queries
+            ):
+                time.sleep(0.01)
+        finally:
+            engine.stop(drain=True)
+            engine.close()
+        rows = [q.result_rows() for q in queries]
+        assert all(len(r) == 19 for r in rows)
+        assert all(r == rows[0] for r in rows)
