@@ -1,0 +1,208 @@
+"""Overload sweep — arrival rate × overflow policy (bounded baskets).
+
+The paper's receptors park arrivals in baskets until factories consume
+them; when producers outrun the engine the parked set grows without
+bound.  This benchmark measures what each :mod:`repro.core.overflow`
+policy buys under a controlled overload: a throttled factory fixes the
+service rate, a paced producer offers tuples at a multiple of it, and we
+record what survives.
+
+Sweep: overflow policy × arrival-rate multiplier.  Reported per
+configuration: tuples offered/admitted, windows produced, the fraction of
+tuples *lost* (shed at the basket + rejected at the source), sustained
+window throughput, and the peak basket occupancy — which must never
+exceed the configured capacity.
+
+Expected shape of the results:
+
+* ``block`` is lossless at every rate (backpressure clamps the producer
+  to the service rate — wall time grows instead of the loss fraction);
+* the shedding policies hold wall time flat and pay in lost tuples, with
+  the loss fraction rising with the overload factor;
+* ``fail`` pushes the loss to the source: whole batches are rejected.
+
+Runs standalone too::
+
+    python benchmarks/bench_overload.py [--smoke]
+
+``--smoke`` is the CI mode: a seconds-scale sweep that still drives every
+policy through a genuine 4x overload and checks the invariants.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import DataCellEngine
+from repro.bench import report
+from repro.core.overflow import parse_overflow_spec
+from repro.errors import BasketOverflowError
+from repro.kernel.execution.profiler import COUNTER_SHED
+from repro.testing.faults import SlowFactory
+
+WINDOW = 1_000
+STEP = 500
+CAPACITY = 2_000
+FIRING_DELAY = 0.002  # throttles the service rate to STEP / FIRING_DELAY
+
+POLICIES = ["fail", "block:30", "shed-oldest", "shed-newest", "sample:0.5"]
+RATES = [1, 2, 4, 8]  # arrival rate as a multiple of the service rate
+CHUNKS = 120
+
+SQL = (
+    f"SELECT x1, sum(x2) FROM s [RANGE {WINDOW} SLIDE {STEP}] "
+    "GROUP BY x1 ORDER BY x1"
+)
+
+
+def _workload(chunks: int, seed: int = 7) -> list[dict[str, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "x1": rng.integers(0, 8, STEP),
+            "x2": rng.integers(0, 50, STEP),
+        }
+        for __ in range(chunks)
+    ]
+
+
+def run_config(spec: str, rate: int, chunks: int = CHUNKS) -> dict[str, float]:
+    """One configuration: paced producer vs throttled consumer."""
+    engine = DataCellEngine()
+    engine.create_stream(
+        "s",
+        [("x1", "int"), ("x2", "int")],
+        capacity=CAPACITY,
+        overflow=parse_overflow_spec(spec),
+    )
+    query = engine.submit(SQL)
+    registration = engine.scheduler._registrations[query.name]
+    registration.factory = SlowFactory(registration.factory, delay=FIRING_DELAY)
+    basket = next(iter(query.baskets.values()))
+
+    pace = FIRING_DELAY / rate  # one STEP-sized chunk per interval
+    workload = _workload(chunks)
+    dropped = 0
+    peak = 0
+    try:
+        engine.start(poll_interval=0.0005)
+        start = time.perf_counter()
+        for columns in workload:
+            try:
+                engine.feed("s", columns=columns)
+            except BasketOverflowError:  # Fail rejects at the source
+                dropped += STEP
+            peak = max(peak, len(basket))
+            time.sleep(pace)
+        engine.stop(drain=True)
+        elapsed = time.perf_counter() - start
+    finally:
+        engine.close()
+
+    offered = chunks * STEP
+    shed = engine.profiler.counter(COUNTER_SHED)
+    windows = len(query.results())
+    return {
+        "offered": offered,
+        "admitted": basket.appended_total,
+        "windows": windows,
+        "lost_fraction": (shed + dropped) / offered,
+        "window_tuples_per_s": windows * STEP / elapsed,
+        "peak": peak,
+        "seconds": elapsed,
+    }
+
+
+def sweep(rates: list[int] = RATES, chunks: int = CHUNKS) -> list[tuple]:
+    rows = []
+    for spec in POLICIES:
+        for rate in rates:
+            run = run_config(spec, rate, chunks)
+            rows.append(
+                (
+                    spec,
+                    rate,
+                    run["offered"],
+                    run["admitted"],
+                    run["windows"],
+                    run["lost_fraction"],
+                    run["window_tuples_per_s"],
+                    run["peak"],
+                    run["seconds"],
+                )
+            )
+    return rows
+
+
+def check_rows(rows: list[tuple]) -> None:
+    """The acceptance invariants of the sweep."""
+    top_rate = max(r[1] for r in rows)
+    for spec, rate, offered, admitted, windows, lost, __, peak, ___ in rows:
+        assert peak <= CAPACITY, f"{spec} x{rate}: peak {peak} > capacity {CAPACITY}"
+        assert windows > 0, f"{spec} x{rate}: produced no windows"
+        if spec.startswith("block"):
+            assert lost == 0.0, f"block x{rate}: lost {lost:.3f} != 0 (backpressure)"
+            assert admitted == offered
+        if spec == "shed-oldest" and rate == top_rate:
+            assert lost > 0.0, f"shed-oldest x{top_rate}: overload shed nothing"
+            assert admitted == offered  # incoming admitted, parked evicted
+
+
+HEADERS = [
+    "policy", "rate", "offered", "admitted", "windows",
+    "lost frac", "win·tuples/s", "peak parked", "total s",
+]
+
+
+def _report(rows: list[tuple], name: str = "overload") -> None:
+    report(
+        name,
+        "Overload sweep — overflow policy × arrival rate "
+        f"(|W|={WINDOW}, |w|={STEP}, capacity={CAPACITY}, service rate "
+        f"{int(STEP / FIRING_DELAY)} tuples/s; rate = arrival/service)",
+        HEADERS,
+        [
+            (spec, f"{rate}x", offered, admitted, windows,
+             f"{lost:.3f}", int(tput), peak, secs)
+            for spec, rate, offered, admitted, windows, lost, tput, peak, secs in rows
+        ],
+    )
+
+
+class TestOverloadSweep:
+    def test_policy_rate_grid(self, benchmark):
+        rows = sweep()
+        _report(rows)
+        check_rows(rows)
+        benchmark.pedantic(
+            lambda: run_config("shed-oldest", max(RATES), CHUNKS // 4),
+            rounds=2,
+            iterations=1,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI sweep (fewer chunks and rates, same invariants)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = sweep(rates=[1, 4], chunks=40)
+        _report(rows, "overload_smoke")
+    else:
+        rows = sweep()
+        _report(rows)
+    check_rows(rows)
+    print("\noverload sweep invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,12 +20,19 @@ Public entry points:
 from repro.core import (
     AdaptiveChunker,
     Basket,
+    Block,
     ContinuousQuery,
     DataCellEngine,
+    Fail,
     IncrementalFactory,
+    OverflowPolicy,
     ReevalFactory,
     ResultBatch,
+    RetryingEmitter,
+    Sample,
     Scheduler,
+    ShedNewest,
+    ShedOldest,
     WindowSpec,
 )
 from repro.errors import ReproError
@@ -35,13 +42,20 @@ __version__ = "0.1.0"
 __all__ = [
     "AdaptiveChunker",
     "Basket",
+    "Block",
     "ContinuousQuery",
     "DataCellEngine",
+    "Fail",
     "IncrementalFactory",
+    "OverflowPolicy",
     "ReevalFactory",
     "ReproError",
     "ResultBatch",
+    "RetryingEmitter",
+    "Sample",
     "Scheduler",
+    "ShedNewest",
+    "ShedOldest",
     "WindowSpec",
     "__version__",
 ]

@@ -15,6 +15,7 @@ Commands (case-insensitive keywords; one per line)::
     RESULTS [query] [LAST]                 print window results
     EXPLAIN <select ...>                   show the optimized logical plan
     EXPLAIN CONTINUOUS <select ...>        show the incremental programs
+    STATS                                  overload counters + factory stats
     <select ...>                           one-time query over tables
     QUERIES / STREAMS / HELP / QUIT
 
@@ -24,6 +25,13 @@ The console is a thin veneer: every command maps 1:1 onto a
 ``python -m repro --workers N [script...]`` runs the console's engine with
 a parallel firing scheduler (N worker threads); the default (1) is the
 deterministic sequential mode.
+
+``--capacity N`` bounds every stream the console creates to N parked
+tuples per query basket, and ``--overflow POLICY`` picks what happens when
+producers outrun the engine (``fail``, ``block[:timeout]``,
+``shed-oldest``, ``shed-newest``, ``sample:rate[:seed]`` — see
+docs/OPERATIONS.md).  The ``STATS`` command prints per-stream overload
+counters and per-factory profiler snapshots.
 
 ``python -m repro lint [...]`` is a separate subcommand that statically
 verifies rewritten plans (see :mod:`repro.analysis.lint`).
@@ -37,6 +45,7 @@ import sys
 from typing import Optional, TextIO
 
 from repro.core.engine import DataCellEngine
+from repro.core.overflow import OverflowPolicy, parse_overflow_spec
 from repro.errors import ReproError
 from repro.workloads.csvio import read_csv_chunks
 
@@ -61,10 +70,23 @@ def _parse_schema(text: str) -> tuple[str, list[tuple[str, str]]]:
 
 
 class Console:
-    """The command interpreter; one instance owns one engine."""
+    """The command interpreter; one instance owns one engine.
 
-    def __init__(self, out: Optional[TextIO] = None, workers: int = 1) -> None:
+    ``capacity``/``overflow`` are the console-wide overload defaults
+    applied to every ``CREATE STREAM`` (the policy template is cloned per
+    basket by the engine).
+    """
+
+    def __init__(
+        self,
+        out: Optional[TextIO] = None,
+        workers: int = 1,
+        capacity: Optional[int] = None,
+        overflow: Optional[OverflowPolicy] = None,
+    ) -> None:
         self.engine = DataCellEngine(workers=workers)
+        self.capacity = capacity
+        self.overflow = overflow
         self.out = out if out is not None else sys.stdout
         self._done = False
 
@@ -117,10 +139,19 @@ class Console:
                 cols = ", ".join(f"{n} {a.value}" for n, a in schema.columns)
                 self.println(f"{stream} ({cols})")
             return
+        if upper == "STATS":
+            self._stats()
+            return
         if upper.startswith("CREATE STREAM "):
             name, columns = _parse_schema(line[len("CREATE STREAM "):])
-            self.engine.create_stream(name, columns)
-            self.println(f"stream {name} created")
+            self.engine.create_stream(
+                name, columns, capacity=self.capacity, overflow=self.overflow
+            )
+            suffix = ""
+            if self.capacity is not None:
+                policy = self.overflow.describe() if self.overflow else "fail"
+                suffix = f" (capacity {self.capacity}, overflow {policy})"
+            self.println(f"stream {name} created{suffix}")
             return
         if upper.startswith("CREATE TABLE "):
             name, columns = _parse_schema(line[len("CREATE TABLE "):])
@@ -206,6 +237,29 @@ class Console:
                     f"({batch.response_seconds * 1000:.3f} ms): {batch.rows()}"
                 )
 
+    def _stats(self) -> None:
+        """Per-stream overload counters + per-factory profiler snapshots."""
+        overload = self.engine.overload_stats()
+        if overload:
+            self.println("-- streams")
+            for stream, stats in overload.items():
+                capacity = stats["capacity"] or "unbounded"
+                self.println(
+                    f"{stream}: capacity={capacity} baskets={stats['baskets']} "
+                    f"parked={stats['parked']} (max {stats['max_parked']}) "
+                    f"shed={stats['shed']} block_waits={stats['block_waits']} "
+                    f"block_timeouts={stats['block_timeouts']}"
+                )
+        factories = self.engine.scheduler.factory_stats()
+        if factories:
+            self.println("-- factories")
+            for name, snapshot in factories.items():
+                counters = " ".join(
+                    f"{key}={value:g}" if isinstance(value, float) else f"{key}={value}"
+                    for key, value in sorted(snapshot.items())
+                )
+                self.println(f"{name}: {counters or '(no firings yet)'}")
+
     def _print_columns(self, result: dict[str, list]) -> None:
         names = list(result)
         self.println(" | ".join(names))
@@ -227,24 +281,43 @@ def main(argv: Optional[list[str]] = None) -> int:
 
         return run_lint_cli(argv[1:])
     workers = 1
-    while argv and argv[0].startswith("--workers"):
+    capacity: Optional[int] = None
+    overflow = None
+    while argv and argv[0].startswith("--"):
         flag = argv.pop(0)
-        if "=" in flag:
-            value = flag.split("=", 1)[1]
+        name, __, inline = flag.partition("=")
+        if name not in ("--workers", "--capacity", "--overflow"):
+            print(f"error: unknown flag {name!r}", file=sys.stderr)
+            return 2
+        if inline:
+            value = inline
         elif argv:
             value = argv.pop(0)
         else:
-            print("error: --workers needs a value", file=sys.stderr)
+            print(f"error: {name} needs a value", file=sys.stderr)
             return 2
         try:
-            workers = int(value)
-            if workers < 1:
-                raise ValueError
+            if name == "--workers":
+                workers = int(value)
+                if workers < 1:
+                    raise ValueError
+            elif name == "--capacity":
+                capacity = int(value)
+                if capacity < 1:
+                    raise ValueError
+            else:
+                overflow = parse_overflow_spec(value)
         except ValueError:
-            print(f"error: --workers needs a positive integer, got {value!r}",
+            print(f"error: {name} needs a positive integer, got {value!r}",
                   file=sys.stderr)
             return 2
-    console = Console(workers=workers)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if overflow is not None and capacity is None:
+        print("error: --overflow needs --capacity", file=sys.stderr)
+        return 2
+    console = Console(workers=workers, capacity=capacity, overflow=overflow)
     if argv:
         for path in argv:
             with open(path) as script:

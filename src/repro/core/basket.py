@@ -7,28 +7,86 @@ snapshot column views, consume basic windows, and drop expired tuples from
 the head (paper §2: "once a tuple has been seen by all relevant queries it
 is dropped from its basket").
 
+Baskets are **unbounded by default** — the paper's model, which assumes the
+scheduler keeps up with arrival rates.  Passing ``capacity=`` bounds the
+basket and arms an :class:`~repro.core.overflow.OverflowPolicy` (default
+:class:`~repro.core.overflow.Fail`) that decides, batch-at-a-time on the
+append path, what happens when producers outrun factories: block with
+backpressure, shed from either end, sample, or fail loudly.  Shed and
+blocked counts are kept on the basket (``shed_total``, ``block_waits``,
+``block_timeouts``) and mirrored into an attached
+:class:`~repro.kernel.execution.profiler.Profiler` so overload shows up in
+the same counter channel as firings and cache hits.  docs/OPERATIONS.md is
+the operator-facing guide; DESIGN.md §7 gives the correctness argument for
+shedding under the incremental merge.
+
 Thread-safety: every mutating or snapshotting method takes the basket lock;
-factories take it once around a whole consume cycle via ``locked()``.
+factories take it once around a whole consume cycle via ``locked()``.  A
+producer blocked by the ``Block`` policy waits on a condition tied to that
+same lock, so consumers can drain (and wake it) while it sleeps.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Mapping, Sequence
+import time
+from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.core.overflow import Fail, Keep, OverflowPolicy
 from repro.core.windows import TS_COLUMN
-from repro.errors import BasketError
+from repro.errors import BasketError, BasketOverflowError
 from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT, BATBuilder
+from repro.kernel.execution.profiler import (
+    COUNTER_BLOCK_TIMEOUTS,
+    COUNTER_BLOCK_WAITS,
+    COUNTER_SHED,
+    Profiler,
+)
 from repro.kernel.storage import Schema
 
 
-class Basket:
-    """Column-oriented append buffer for one stream."""
+def _select_rows(rows: list, timestamps, keep: Keep):
+    """Apply an admission's ``keep`` selection to a row batch."""
+    if isinstance(keep, slice):
+        if keep == slice(None):
+            return rows, timestamps
+        kept_rows = rows[keep]
+        kept_ts = None if timestamps is None else list(timestamps)[keep]
+    else:
+        kept_rows = [rows[i] for i in keep]
+        kept_ts = (
+            None if timestamps is None else [timestamps[i] for i in keep]
+        )
+    return kept_rows, kept_ts
 
-    def __init__(self, name: str, schema: Schema, with_timestamps: bool = True) -> None:
+
+def _select_values(values, keep: Keep):
+    """Apply ``keep`` to one column (or timestamp) array."""
+    if isinstance(keep, slice):
+        return values if keep == slice(None) else values[keep]
+    return np.asarray(values)[keep]
+
+
+class Basket:
+    """Column-oriented append buffer for one stream.
+
+    ``capacity`` (optional) bounds the number of parked tuples; ``overflow``
+    selects the policy applied when an append does not fit (default
+    :class:`~repro.core.overflow.Fail`).  With ``capacity=None`` (default)
+    the append paths are exactly the unbounded originals.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        with_timestamps: bool = True,
+        capacity: Optional[int] = None,
+        overflow: Optional[OverflowPolicy] = None,
+    ) -> None:
         self.name = name
         self.schema = schema
         self._lock = threading.RLock()
@@ -41,6 +99,24 @@ class Basket:
         self._appended_total = 0
         self._clock = 0  # fallback logical timestamps
         self._watermark: int | None = None  # explicit time progress
+        if capacity is not None and capacity < 1:
+            raise BasketError(f"capacity must be >= 1, got {capacity}")
+        if capacity is None and overflow is not None:
+            raise BasketError("an overflow policy needs a capacity")
+        self._capacity = capacity
+        self._policy: Optional[OverflowPolicy] = (
+            (overflow if overflow is not None else Fail())
+            if capacity is not None
+            else None
+        )
+        self._not_full = threading.Condition(self._lock)
+        self._profiler: Optional[Profiler] = None
+        #: Tuples dropped by the overflow policy (either end), monotonic.
+        self.shed_total = 0
+        #: Appends that had to wait for room (Block policy), monotonic.
+        self.block_waits = 0
+        #: Blocked appends that gave up at the timeout, monotonic.
+        self.block_timeouts = 0
 
     # ------------------------------------------------------------------
     # locking
@@ -70,9 +146,95 @@ class Basket:
 
     @property
     def appended_total(self) -> int:
-        """Total tuples ever appended (monotonic)."""
+        """Total tuples ever appended (monotonic; excludes shed tuples
+        that were never admitted, includes admitted-then-evicted ones)."""
         with self._lock:
             return self._appended_total
+
+    # ------------------------------------------------------------------
+    # capacity / overflow
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum parked tuples (``None`` = unbounded, the default)."""
+        return self._capacity
+
+    @property
+    def overflow_policy(self) -> Optional[OverflowPolicy]:
+        return self._policy
+
+    def attach_profiler(self, profiler: Profiler) -> None:
+        """Mirror overflow counters (shed, block waits/timeouts) into
+        ``profiler`` — the engine wires the scheduler's global profiler
+        here so overload surfaces next to firings and cache stats."""
+        with self._lock:
+            self._profiler = profiler
+
+    def overflow_stats(self) -> dict[str, int]:
+        """Point-in-time overload numbers for this basket."""
+        with self._lock:
+            return {
+                "capacity": self._capacity or 0,
+                "parked": len(self),
+                "shed": self.shed_total,
+                "block_waits": self.block_waits,
+                "block_timeouts": self.block_timeouts,
+            }
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        if self._profiler is not None:
+            self._profiler.count(counter, amount)
+
+    def _admit(self, incoming: int) -> Keep:
+        """Make room for ``incoming`` tuples; returns the admitted subset.
+
+        Called under the basket lock.  A batch that fits is admitted whole;
+        otherwise the policy decides (or, for ``Block``, this waits on the
+        not-full condition until consumers free enough room or the timeout
+        passes).  Evictions and shed counts happen here, so by the time
+        this returns the admitted tuples are guaranteed to fit.
+        """
+        assert self._capacity is not None and self._policy is not None
+        room = self._capacity - len(self)
+        if incoming <= room:
+            return slice(None)
+        if self._policy.blocking:
+            return self._wait_for_room(incoming, self._policy.timeout)
+        admission = self._policy.admit(room, incoming, self._capacity)
+        if admission.evict_oldest:
+            for builder in self._builders.values():
+                builder.drop_head(admission.evict_oldest)
+        if admission.shed:
+            self.shed_total += admission.shed
+            self._count(COUNTER_SHED, admission.shed)
+        return admission.keep
+
+    def _wait_for_room(self, incoming: int, timeout: Optional[float]) -> Keep:
+        capacity = self._capacity
+        assert capacity is not None
+        if incoming > capacity:
+            raise BasketOverflowError(
+                f"batch of {incoming} can never fit capacity {capacity}",
+                requested=incoming,
+                room=capacity - len(self),
+            )
+        self.block_waits += 1
+        self._count(COUNTER_BLOCK_WAITS)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while capacity - len(self) < incoming:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                self.block_timeouts += 1
+                self._count(COUNTER_BLOCK_TIMEOUTS)
+                raise BasketOverflowError(
+                    f"basket {self.name!r}: timed out after {timeout:g}s "
+                    f"waiting for room ({incoming} tuples, "
+                    f"{capacity - len(self)} free)",
+                    requested=incoming,
+                    room=capacity - len(self),
+                )
+            self._not_full.wait(remaining)
+        return slice(None)
 
     # ------------------------------------------------------------------
     # appends (receptor side)
@@ -80,33 +242,53 @@ class Basket:
     def append_rows(
         self, rows: Iterable[Sequence], timestamps: Sequence[int] | None = None
     ) -> int:
-        """Append tuples in schema order; returns number appended."""
-        names = self.schema.names
+        """Append tuples in schema order; returns the number admitted.
+
+        On a bounded basket the overflow policy may thin the batch (the
+        return value is then smaller than the input), block, or raise
+        :class:`~repro.errors.BasketOverflowError`.
+        """
+        if self._capacity is None:
+            with self._lock:
+                return self._append_rows_locked(rows, timestamps)
+        rows = rows if isinstance(rows, list) else list(rows)
         with self._lock:
-            added = 0
-            for row in rows:
-                if len(row) != len(names):
-                    raise BasketError(
-                        f"row arity {len(row)} != schema arity {len(names)}"
-                    )
-                for name, value in zip(names, row):
-                    self._builders[name].append(value)
-                if self._with_ts:
-                    if timestamps is not None:
-                        self._builders[TS_COLUMN].append(timestamps[added])
-                    else:
-                        self._builders[TS_COLUMN].append(self._clock)
-                        self._clock += 1
-                added += 1
-            self._appended_total += added
-            return added
+            keep = self._admit(len(rows))
+            kept_rows, kept_ts = _select_rows(rows, timestamps, keep)
+            return self._append_rows_locked(kept_rows, kept_ts)
+
+    def _append_rows_locked(
+        self, rows: Iterable[Sequence], timestamps: Sequence[int] | None
+    ) -> int:
+        names = self.schema.names
+        added = 0
+        for row in rows:
+            if len(row) != len(names):
+                raise BasketError(
+                    f"row arity {len(row)} != schema arity {len(names)}"
+                )
+            for name, value in zip(names, row):
+                self._builders[name].append(value)
+            if self._with_ts:
+                if timestamps is not None:
+                    self._builders[TS_COLUMN].append(timestamps[added])
+                else:
+                    self._builders[TS_COLUMN].append(self._clock)
+                    self._clock += 1
+            added += 1
+        self._appended_total += added
+        return added
 
     def append_columns(
         self,
         columns: Mapping[str, Sequence | np.ndarray],
         timestamps: Sequence[int] | np.ndarray | None = None,
     ) -> int:
-        """Bulk columnar append (the fast receptor path)."""
+        """Bulk columnar append (the fast receptor path).
+
+        Returns the number of tuples admitted (see :meth:`append_rows` for
+        bounded-basket semantics).
+        """
         with self._lock:
             expected = set(self.schema.names)
             if set(columns) != expected:
@@ -117,12 +299,22 @@ class Basket:
             if len(lengths) != 1:
                 raise BasketError("ragged column append")
             count = lengths.pop()
+            if timestamps is not None and len(timestamps) != count:
+                raise BasketError("timestamp column length mismatch")
+            if self._capacity is not None:
+                keep = self._admit(count)
+                if not (isinstance(keep, slice) and keep == slice(None)):
+                    columns = {
+                        name: _select_values(values, keep)
+                        for name, values in columns.items()
+                    }
+                    if timestamps is not None:
+                        timestamps = _select_values(timestamps, keep)
+                    count = len(next(iter(columns.values()))) if columns else 0
             for name, values in columns.items():
                 self._builders[name].extend(values)
             if self._with_ts:
                 if timestamps is not None:
-                    if len(timestamps) != count:
-                        raise BasketError("timestamp column length mismatch")
                     self._builders[TS_COLUMN].extend(timestamps)
                 else:
                     self._builders[TS_COLUMN].extend(
@@ -202,7 +394,13 @@ class Basket:
     # deletion (expiry)
     # ------------------------------------------------------------------
     def delete_head(self, count: int) -> None:
-        """Drop the ``count`` oldest tuples (they were consumed/expired)."""
+        """Drop the ``count`` oldest tuples (they were consumed/expired).
+
+        On a bounded basket this is what frees room: producers parked on
+        the ``Block`` policy's not-full condition are woken here.
+        """
         with self._lock:
             for builder in self._builders.values():
                 builder.drop_head(count)
+            if self._capacity is not None and count:
+                self._not_full.notify_all()

@@ -1,17 +1,41 @@
 """Emitters — the egress edge of the DataCell architecture (Figure 1).
 
 An emitter is a result sink: the scheduler hands it every
-:class:`~repro.core.factory.ResultBatch` a factory produces.  The default
-collecting emitter retains batches for inspection; a callback emitter
-forwards them to client code (the example applications' "clients").
+:class:`~repro.core.factory.ResultBatch` a factory produces.  Four
+implementations cover the delivery spectrum:
+
+* :class:`CollectingEmitter` — thread-safe in-memory retention (what
+  :meth:`ContinuousQuery.results` reads); optionally ring-bounded via
+  ``keep_last``;
+* :class:`CallbackEmitter` — forwards each batch to client code (the
+  example applications' "clients");
+* :class:`CsvEmitter` — appends result rows to a CSV file, the egress
+  twin of the CSV ingestion path;
+* :class:`RetryingEmitter` — a robustness wrapper around any of the
+  above (or any external sink): a sink exception is retried with
+  exponential backoff, and once retries are exhausted the batch lands in
+  a *dead-letter* collector instead of propagating into the scheduler —
+  so a flaky downstream never kills the factory that produced the
+  result.  Retry and dead-letter counts surface through the profiler
+  counter channel (``emit_retries`` / ``dead_letter_batches``).
+
+A sink is just a callable ``(factory_name, batch) -> None``; the scheduler
+treats a raised exception as a firing failure, which is exactly why
+external deliveries should go through :class:`RetryingEmitter`.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Optional
 
 from repro.core.factory import ResultBatch
+from repro.kernel.execution.profiler import (
+    COUNTER_DEAD_LETTERS,
+    COUNTER_EMIT_RETRIES,
+    Profiler,
+)
 
 
 class CollectingEmitter:
@@ -93,3 +117,70 @@ class CsvEmitter:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class RetryingEmitter:
+    """Shields the scheduler from a failing downstream sink.
+
+    Wraps any result sink; each batch is attempted ``1 + max_retries``
+    times with exponential backoff (``backoff``, doubling per attempt).
+    When every attempt fails the batch is routed to the ``dead_letter``
+    sink (default: an internal :class:`CollectingEmitter`, readable via
+    :meth:`dead_letters`) together with the last exception in
+    ``last_error`` — and crucially the exception does **not** propagate,
+    so the factory's firing succeeds and the stream keeps flowing.
+
+    ``profiler`` (optional) receives ``emit_retries`` and
+    ``dead_letter_batches`` counts; the plain attributes ``retries`` and
+    ``dead_lettered`` track the same numbers for profiler-less use.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[str, ResultBatch], None],
+        max_retries: int = 3,
+        backoff: float = 0.005,
+        dead_letter: Optional[Callable[[str, ResultBatch], None]] = None,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
+        self._sink = sink
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._dead_letter = (
+            dead_letter if dead_letter is not None else CollectingEmitter()
+        )
+        self._profiler = profiler
+        self._lock = threading.Lock()
+        self.retries = 0
+        self.dead_lettered = 0
+        self.last_error: Optional[BaseException] = None
+
+    def __call__(self, factory_name: str, batch: ResultBatch) -> None:
+        delay = self.backoff
+        error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._sink(factory_name, batch)
+                return
+            except Exception as exc:
+                error = exc
+                if attempt < self.max_retries:
+                    with self._lock:
+                        self.retries += 1
+                    if self._profiler is not None:
+                        self._profiler.count(COUNTER_EMIT_RETRIES)
+                    time.sleep(delay)
+                    delay *= 2
+        with self._lock:
+            self.dead_lettered += 1
+            self.last_error = error
+        if self._profiler is not None:
+            self._profiler.count(COUNTER_DEAD_LETTERS)
+        self._dead_letter(factory_name, batch)
+
+    def dead_letters(self) -> list[ResultBatch]:
+        """Batches that exhausted their retries (when the default
+        dead-letter collector is in use)."""
+        if isinstance(self._dead_letter, CollectingEmitter):
+            return self._dead_letter.batches()
+        raise TypeError("custom dead-letter sink: read it directly")

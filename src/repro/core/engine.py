@@ -35,13 +35,19 @@ import numpy as np
 from repro.core.basket import Basket
 from repro.core.emitter import CollectingEmitter
 from repro.core.factory import FactoryBase, IncrementalFactory, ResultBatch
+from repro.core.overflow import OverflowPolicy
 from repro.core.partials import FragmentCache
 from repro.core.receptor import Receptor
 from repro.core.reevaluate import ReevalFactory
 from repro.core.rewriter import rewrite
 from repro.core.rewriter.canonical import fragment_fingerprint
 from repro.core.scheduler import Scheduler
-from repro.errors import CatalogError, ReproError, UnsupportedQueryError
+from repro.errors import (
+    BasketOverflowError,
+    CatalogError,
+    ReproError,
+    UnsupportedQueryError,
+)
 from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT
 from repro.kernel.execution.interpreter import Interpreter
@@ -122,6 +128,12 @@ class DataCellEngine:
     lets queries whose per-basic-window fragments are equivalent share one
     computation per basic window through an engine-wide
     :class:`FragmentCache`; it never changes results, only work.
+
+    Overload control is configured per stream: ``create_stream(...,
+    capacity=, overflow=)`` bounds that stream's baskets and picks the
+    policy applied when producers outrun factories (see
+    :mod:`repro.core.overflow` and docs/OPERATIONS.md).  Shed/blocked
+    counts surface through :attr:`profiler` and :meth:`overload_stats`.
     """
 
     def __init__(
@@ -141,17 +153,72 @@ class DataCellEngine:
         self._queries: dict[str, ContinuousQuery] = {}
         self._stream_baskets: dict[str, list[Basket]] = {}
         self._stream_fed: dict[str, int] = {}
+        # stream -> (capacity, overflow-policy template); templates are
+        # cloned per basket so stateful policies never share state.
+        self._stream_limits: dict[
+            str, tuple[Optional[int], Optional[OverflowPolicy]]
+        ] = {}
+        # Streams whose per-query baskets no longer hold identical tuples
+        # (a Fail/Block overflow raised partway through feed's fan-out).
+        # Their queries must not share fragment-cache entries.
+        self._diverged_streams: set[str] = set()
         self._query_counter = 0
         self._interp = Interpreter()
+
+    @property
+    def profiler(self):
+        """The engine-wide profiler (timings + overload counters).
+
+        Basket shed/blocked counts, receptor retries/drops, and factory
+        firings all land here; ``engine.profiler.counter("overflow_shed")``
+        is the number the acceptance tests and docs/OPERATIONS.md quote.
+        """
+        return self.scheduler.profiler
 
     # ------------------------------------------------------------------
     # schema management
     # ------------------------------------------------------------------
-    def create_stream(self, name: str, columns: Sequence[tuple[str, object]]) -> None:
-        """Declare a stream with ``[(column, type), ...]``."""
+    def create_stream(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, object]],
+        capacity: Optional[int] = None,
+        overflow: Optional[OverflowPolicy] = None,
+    ) -> None:
+        """Declare a stream with ``[(column, type), ...]``.
+
+        ``capacity`` bounds every basket bound to this stream (per query —
+        each continuous query has its own basket, so the worst-case parked
+        memory is ``capacity × queries``).  ``overflow`` is the policy
+        applied when an append does not fit (default
+        :class:`~repro.core.overflow.Fail`); the instance passed here is a
+        *template*, cloned per basket.  Streams with a shedding policy
+        (``ShedOldest``/``ShedNewest``/``Sample``) opt their queries out
+        of cross-query fragment sharing, because shedding breaks the
+        arrival-offset alignment the shared cache keys on (DESIGN.md §7).
+        """
+        if overflow is not None and capacity is None:
+            raise ReproError("an overflow policy needs a capacity")
         self.catalog.create_stream(name, _as_schema(columns))
         self._stream_baskets[name] = []
         self._stream_fed[name] = 0
+        self._stream_limits[name] = (capacity, overflow)
+
+    def _new_basket(self, query_name: str, relation: str) -> Basket:
+        """A fresh per-query basket honouring the stream's overload knobs."""
+        capacity, template = self._stream_limits.get(relation, (None, None))
+        basket = Basket(
+            f"{query_name}:{relation}",
+            self.catalog.stream(relation).schema,
+            capacity=capacity,
+            overflow=template.clone() if template is not None else None,
+        )
+        basket.attach_profiler(self.scheduler.profiler)
+        return basket
+
+    def _stream_sheds(self, relation: str) -> bool:
+        __, template = self._stream_limits.get(relation, (None, None))
+        return template is not None and template.sheds
 
     def create_table(self, name: str, columns: Sequence[tuple[str, object]]) -> Table:
         """Create a persistent base table."""
@@ -191,10 +258,7 @@ class DataCellEngine:
                         "self-joins on a single stream are not supported"
                     )
                 seen_streams.add(scan.relation)
-                basket = Basket(
-                    f"{query_name}:{scan.relation}",
-                    self.catalog.stream(scan.relation).schema,
-                )
+                basket = self._new_basket(query_name, scan.relation)
                 baskets[scan.alias] = basket
                 self._stream_baskets[scan.relation].append(basket)
             else:
@@ -219,7 +283,14 @@ class DataCellEngine:
                 }
                 check_plan(plan, schemas)
             factory = IncrementalFactory(plan, baskets, tables, name=query_name)
-            if self.fragment_sharing and plan.fragment is not None:
+            if (
+                self.fragment_sharing
+                and plan.fragment is not None
+                and not any(
+                    self._stream_sheds(s) or s in self._diverged_streams
+                    for s in seen_streams
+                )
+            ):
                 self._enable_sharing(factory, plan)
         else:
             factory = ReevalFactory(planned, baskets, tables, name=query_name)
@@ -280,7 +351,21 @@ class DataCellEngine:
         columns: Optional[Mapping[str, Sequence | np.ndarray]] = None,
         timestamps: Optional[Sequence[int] | np.ndarray] = None,
     ) -> int:
-        """Append tuples to every basket bound to ``stream``."""
+        """Append tuples to every basket bound to ``stream``.
+
+        Returns the batch size *offered*; on a bounded stream each query's
+        basket admits tuples per its overflow policy independently (a
+        ``Fail`` policy raises :class:`~repro.errors.BasketOverflowError`,
+        ``Block`` may wait per basket).  Shedding is accounted on the
+        baskets and the engine profiler, not in the return value.
+
+        If an overflow raises after some baskets already admitted the
+        batch, those baskets have diverged from their neighbours: the
+        stream's queries are permanently opted out of fragment sharing
+        before the error propagates (a performance demotion, never a
+        correctness one), because the shared cache keys on every sharer
+        having seen the same tuples (DESIGN.md §7).
+        """
         if stream not in self._stream_baskets:
             raise CatalogError(f"unknown stream {stream!r}")
         if (rows is None) == (columns is None):
@@ -293,16 +378,39 @@ class DataCellEngine:
             assert columns is not None
             lengths = {len(values) for values in columns.values()}
             count = lengths.pop() if len(lengths) == 1 else 0
+        admitted = 0
         for basket in baskets:
-            if rows is not None:
-                basket.append_rows(rows, timestamps)
-            else:
-                basket.append_columns(columns, timestamps)
+            try:
+                if rows is not None:
+                    basket.append_rows(rows, timestamps)
+                else:
+                    basket.append_columns(columns, timestamps)
+            except BasketOverflowError:
+                if admitted:
+                    self._demote_sharing(stream)
+                raise
+            admitted += 1
         # Advance the stream's global arrival offset even when no query is
         # bound yet: fragment-cache spans of queries submitted later must
         # stay aligned with queries that did see these tuples.
         self._stream_fed[stream] += count
         return count
+
+    def _demote_sharing(self, stream: str) -> None:
+        """Opt a diverged stream's queries out of fragment sharing.
+
+        Called when a fan-out append failed partway: some baskets hold the
+        batch, others do not, so arrival offsets no longer describe the
+        same tuples across queries and shared cache entries would be
+        wrong.  Future submits on the stream stay unshared too.
+        """
+        self._diverged_streams.add(stream)
+        stream_baskets = self._stream_baskets[stream]
+        for handle in self._queries.values():
+            if isinstance(handle.factory, IncrementalFactory) and any(
+                basket in stream_baskets for basket in handle.baskets.values()
+            ):
+                handle.factory.disable_fragment_sharing()
 
     def advance_time(self, stream: str, ts: int) -> None:
         """Advance the time watermark of every basket bound to ``stream``.
@@ -325,15 +433,43 @@ class DataCellEngine:
         """
         if isinstance(query.factory, IncrementalFactory):
             query.factory.disable_fragment_sharing()
-        return Receptor(query.baskets[stream_alias])
+        return Receptor(
+            query.baskets[stream_alias],
+            max_retries=3,
+            profiler=self.scheduler.profiler,
+        )
 
     def run_until_idle(self) -> int:
         """Fire all ready factories until quiescence; returns firings."""
         return self.scheduler.run_until_idle()
 
-    def start(self) -> None:
+    def overload_stats(self) -> dict[str, dict[str, int]]:
+        """Per-stream overload summary aggregated over its query baskets.
+
+        For each stream: the configured ``capacity`` (0 = unbounded),
+        total ``parked`` tuples across baskets, the worst single-basket
+        occupancy ``max_parked``, and the summed ``shed`` /
+        ``block_waits`` / ``block_timeouts`` counters.  The console's
+        ``STATS`` command and docs/OPERATIONS.md build on this.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for stream, baskets in self._stream_baskets.items():
+            capacity, __ = self._stream_limits.get(stream, (None, None))
+            per = [basket.overflow_stats() for basket in baskets]
+            stats[stream] = {
+                "capacity": capacity or 0,
+                "baskets": len(per),
+                "parked": sum(s["parked"] for s in per),
+                "max_parked": max((s["parked"] for s in per), default=0),
+                "shed": sum(s["shed"] for s in per),
+                "block_waits": sum(s["block_waits"] for s in per),
+                "block_timeouts": sum(s["block_timeouts"] for s in per),
+            }
+        return stats
+
+    def start(self, poll_interval: float = 0.001) -> None:
         """Run the scheduler in the background (used with receptors)."""
-        self.scheduler.start()
+        self.scheduler.start(poll_interval=poll_interval)
 
     def stop(self, drain: bool = True) -> None:
         self.scheduler.stop(drain=drain)

@@ -13,7 +13,23 @@ per-basic-window (or per-pair) plan fragment.
 :class:`FragmentCache` extends the same idea *across* queries: factories
 whose per-basic-window fragments are alpha-equivalent over the same stream
 compute each basic window's bundle once and share the result (BATs are
-immutable, so sharing is zero-copy).
+immutable, so sharing is zero-copy).  Cache entries are addressed by
+global arrival offsets, which is why sharing requires every sharer's
+basket to have seen exactly the same tuples — streams with a shedding
+overflow policy, queries fed through a private receptor, and streams
+whose fan-out diverged on an overflow error are all opted out by the
+engine (DESIGN.md §7).
+
+Overload interaction: admission control happens at the basket, strictly
+before a factory slices basic windows, so a shed tuple never reaches a
+partial — stores only ever hold bundles computed from admitted tuples,
+and expiry needs no special casing under load shedding.
+
+Thread-safety: ``PartialStore`` is confined to its owning factory (the
+scheduler's firing lock serializes steps); ``FragmentCache`` is shared
+engine-wide and does its own locking — a cache-level lock for the index
+plus a per-span lock so concurrent misses compute a bundle once (lock
+order in DESIGN.md §6).
 """
 
 from __future__ import annotations

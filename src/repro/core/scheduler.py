@@ -74,6 +74,7 @@ class Scheduler:
         self._workers = workers
         self._executor: Optional[ThreadPoolExecutor] = None
         self._worker_error: Optional[BaseException] = None
+        self._ever_started = False
         self.profiler = Profiler()
 
     @property
@@ -193,6 +194,7 @@ class Scheduler:
         """Run the scheduler loop in a daemon thread."""
         if self._thread is not None:
             raise SchedulerError("scheduler already running")
+        self._ever_started = True
         self._stop_event.clear()
 
         def loop() -> None:
@@ -214,16 +216,36 @@ class Scheduler:
 
         If the loop died on an exception, that exception is re-raised here
         (and draining is skipped — the engine is in an undefined state).
+
+        ``drain=True`` runs :meth:`drain` after the loop has joined — and
+        also on a scheduler that was never started (the synchronous
+        driving mode) — so that post-stop state is *final*: every ready
+        factory has fired, baskets hold only tuples that genuinely never
+        formed a window, and the overflow counters (shed / blocked, see
+        docs/OPERATIONS.md) are exact rather than racing a half-finished
+        scan.  Draining also frees room in bounded baskets, waking
+        producers parked on the ``Block`` policy.  A repeated ``stop()``
+        after the loop is gone is a no-op (it neither drains again nor
+        resurfaces an already-raised worker error).
         """
-        if self._thread is None:
-            self._raise_worker_error()
-            return
-        self._stop_event.set()
-        self._thread.join()
-        self._thread = None
+        joined = False
+        if self._thread is not None:
+            self._stop_event.set()
+            self._thread.join()
+            self._thread = None
+            joined = True
         self._raise_worker_error()
-        if drain:
-            self.run_until_idle()
+        if drain and (joined or not self._ever_started):
+            self.drain()
+
+    def drain(self) -> int:
+        """Fire until quiescence so shed/parked accounting is exact.
+
+        Returns the number of firings.  Equivalent to
+        :meth:`run_until_idle`; the separate name exists so call sites can
+        say *why* they are scanning (finalizing counters at shutdown).
+        """
+        return self.run_until_idle()
 
     def _raise_worker_error(self) -> None:
         with self._lock:

@@ -80,6 +80,21 @@ class BasketError(ReproError):
     """Illegal basket operation (e.g. appending mismatched columns)."""
 
 
+class BasketOverflowError(BasketError):
+    """An append did not fit into a bounded basket.
+
+    Raised by the ``Fail`` overflow policy as soon as a batch exceeds the
+    free room, and by ``Block(timeout)`` when the deadline passes before
+    consumers free enough space.  ``requested`` is the batch size that did
+    not fit; ``room`` the free space observed when giving up.
+    """
+
+    def __init__(self, message: str, requested: int = 0, room: int = 0) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.room = room
+
+
 class StreamError(ReproError):
     """Receptor/emitter level failure (bad input rows, closed stream)."""
 

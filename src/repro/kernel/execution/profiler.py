@@ -25,6 +25,14 @@ from dataclasses import dataclass, field
 COUNTER_FIRINGS = "firings"
 COUNTER_CACHE_HITS = "fragment_cache_hits"
 COUNTER_CACHE_MISSES = "fragment_cache_misses"
+#: Overload-control counters (bounded baskets; see docs/OPERATIONS.md).
+COUNTER_SHED = "overflow_shed"
+COUNTER_BLOCK_WAITS = "overflow_block_waits"
+COUNTER_BLOCK_TIMEOUTS = "overflow_block_timeouts"
+COUNTER_INGEST_RETRIES = "ingest_retries"
+COUNTER_INGEST_DROPPED = "ingest_dropped"
+COUNTER_EMIT_RETRIES = "emit_retries"
+COUNTER_DEAD_LETTERS = "dead_letter_batches"
 
 
 @dataclass

@@ -1,0 +1,20 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used by the overload stress tests and available to downstream users who
+want to chaos-test their own pipelines.
+"""
+
+from repro.testing.faults import (
+    FlakyEmitter,
+    InjectedFault,
+    SlowFactory,
+    StallingSource,
+)
+
+__all__ = [
+    "FlakyEmitter",
+    "InjectedFault",
+    "SlowFactory",
+    "StallingSource",
+]

@@ -1,0 +1,40 @@
+"""Internal links in the project docs must resolve (tools/check_docs_links).
+
+Runs the same checker CI's docs job runs, so a broken README/DESIGN/
+OPERATIONS link fails the tier-1 suite locally too.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links", ROOT / "tools" / "check_docs_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_internal_doc_links_resolve():
+    checker = _load_checker()
+    errors = checker.check_links()
+    assert not errors, "\n".join(errors)
+
+
+def test_checker_flags_broken_links(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "A.md").write_text(
+        "# Title\n[good](B.md)\n[bad](missing.md)\n[anchor](B.md#nope)\n"
+    )
+    (tmp_path / "B.md").write_text("# Section One\n")
+    errors = checker.check_links(tmp_path, ["A.md"])
+    assert len(errors) == 2
+    assert any("missing.md" in e for e in errors)
+    assert any("nope" in e for e in errors)
+    assert not checker.check_links(tmp_path, ["B.md"])

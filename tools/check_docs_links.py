@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Verify that internal markdown links in the project docs resolve.
+
+Checks every ``[text](target)`` link in the documents listed in ``DOCS``:
+relative file targets must exist on disk, and ``#anchor`` fragments must
+match a heading slug in the target document (GitHub slug rules: lowercase,
+punctuation stripped, spaces to dashes).  External ``http(s)`` links are
+ignored — CI must not depend on the network.
+
+Run directly (``python tools/check_docs_links.py``) or through the
+``tests/test_docs_links.py`` wrapper; exits non-zero listing every broken
+link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/OPERATIONS.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    slugs: set[str] = set()
+    in_code = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            title = re.sub(r"`([^`]*)`", r"\1", match.group(1)).strip()
+            slug = re.sub(r"[^\w\s-]", "", title.lower())
+            slugs.add(re.sub(r"\s+", "-", slug).strip("-"))
+    return slugs
+
+
+def check_links(root: Path = ROOT, docs: list[str] | None = None) -> list[str]:
+    """Returns one error string per broken link (empty = all good)."""
+    errors: list[str] = []
+    for doc in docs if docs is not None else DOCS:
+        path = root / doc
+        if not path.exists():
+            errors.append(f"{doc}: document missing")
+            continue
+        in_code = False
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for target in _LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                file_part, __, anchor = target.partition("#")
+                resolved = (path.parent / file_part) if file_part else path
+                if not resolved.exists():
+                    errors.append(f"{doc}:{lineno}: broken link target {target!r}")
+                    continue
+                if anchor and resolved.suffix == ".md":
+                    if anchor.lower() not in heading_slugs(resolved):
+                        errors.append(
+                            f"{doc}:{lineno}: no heading for anchor {target!r}"
+                        )
+    return errors
+
+
+def main() -> int:
+    errors = check_links()
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(DOCS)
+    if errors:
+        print(f"docs link check: {len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs link check: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
