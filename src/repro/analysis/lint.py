@@ -313,6 +313,20 @@ def run_lint_cli(argv: list[str], out=None) -> int:
         help="declare a table schema for --sql",
     )
     parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also lint N randomly generated continuous queries "
+        "(the repro fuzz generator as a free verifier corpus)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="generator seed for --fuzz (default 0)",
+    )
+    parser.add_argument(
         "--dump",
         action="store_true",
         help="print the typed program dump of every verified plan",
@@ -339,8 +353,21 @@ def run_lint_cli(argv: list[str], out=None) -> int:
             return 2
         units += [(engine, "--sql", sql) for sql in args.sql]
 
+    if args.fuzz:
+        import numpy as np
+
+        from repro.testing.fuzz.generator import TAXONOMY, QueryGenerator, build_engine
+
+        for i in range(args.fuzz):
+            generator = QueryGenerator(np.random.default_rng([args.seed, i]))
+            try:
+                query = generator.query(TAXONOMY[i % len(TAXONOMY)])
+            except ReproError:
+                continue
+            units.append((build_engine(query), f"--fuzz[{i}]", query.sql))
+
     paths = list(args.paths)
-    if not paths and not args.sql:
+    if not paths and not args.sql and not args.fuzz:
         paths = [p for p in ("examples", "benchmarks") if Path(p).is_dir()]
         if not paths:
             print("repro lint: nothing to lint (no examples/ or benchmarks/)", file=out)

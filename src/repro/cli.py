@@ -34,7 +34,9 @@ docs/OPERATIONS.md).  The ``STATS`` command prints per-stream overload
 counters and per-factory profiler snapshots.
 
 ``python -m repro lint [...]`` is a separate subcommand that statically
-verifies rewritten plans (see :mod:`repro.analysis.lint`).
+verifies rewritten plans (see :mod:`repro.analysis.lint`), and
+``python -m repro fuzz [...]`` runs the differential fuzzing harness
+(see :mod:`repro.testing.fuzz`).
 """
 
 from __future__ import annotations
@@ -280,6 +282,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.analysis.lint import run_lint_cli
 
         return run_lint_cli(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.testing.fuzz.runner import run_fuzz_cli
+
+        return run_fuzz_cli(argv[1:])
     workers = 1
     capacity: Optional[int] = None
     overflow = None

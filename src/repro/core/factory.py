@@ -447,7 +447,7 @@ class IncrementalFactory(FactoryBase):
         packed_cols = self._pack_flows(bundles, profiler)
         combined = self._interp.run(self.plan.combine, packed_cols, profiler)
         bundle = {flow.name: combined[flow.name] for flow in self.plan.flows}
-        if self._is_landmark:
+        if self._compactable:
             self._compact_landmark(bundle)
         outputs = self._interp.run(self.plan.finalize, bundle, profiler)
         columns = {
@@ -464,6 +464,16 @@ class IncrementalFactory(FactoryBase):
     @property
     def _is_landmark(self) -> bool:
         return any(w.is_landmark for w in self.plan.windows.values())
+
+    @property
+    def _compactable(self) -> bool:
+        """Landmark compaction collapses all partials into one cumulative
+        bundle, which is only sound when *no* stream input ever expires —
+        a landmark ⋈ sliding join must keep per-pair partials so the
+        sliding side's expiry can drop stale pairs (found by `repro
+        fuzz`: the compacted bundle froze pairs built from basic windows
+        that later slid out of focus)."""
+        return all(w.is_landmark for w in self.plan.windows.values())
 
     def _compact_landmark(self, bundle: Bundle) -> None:
         """Replace all cached partials with the cumulative combined bundle."""

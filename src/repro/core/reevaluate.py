@@ -164,8 +164,17 @@ class ReevalFactory(FactoryBase):
             for column, slot in self.compiled.scan_inputs.get(alias, {}).items():
                 inputs[slot] = table.column(column)
         outputs = self._interp.run(self.compiled.program, inputs, profiler)
+        # Materialize every output column: a pass-through projection makes
+        # the interpreter return the *input* BAT itself, which is a
+        # zero-copy view into this factory's window buffer — the next
+        # step's trim() compacts that buffer in place and would corrupt
+        # the batch after it was emitted (found by `repro fuzz`).
         columns = {
-            name: outputs[slot]
+            name: BAT(
+                np.array(outputs[slot].tail, copy=True),
+                outputs[slot].atom,
+                outputs[slot].hseq,
+            )
             for name, slot in zip(
                 self.compiled.output_names, self.compiled.output_slots
             )

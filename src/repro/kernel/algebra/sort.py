@@ -8,6 +8,22 @@ from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT
 
 
+def _stable_argsort(values: np.ndarray, descending: bool) -> np.ndarray:
+    """Stable permutation for either direction: ties keep input order.
+
+    ``np.argsort(..., kind="stable")[::-1]`` is NOT a stable descending
+    sort — the reversal also reverses ties, which silently breaks the
+    multi-key ORDER BY composition in ``sort_refine`` (a DESC refine pass
+    must preserve the within-tie order imposed by lower-priority keys).
+    Descending instead sorts the reversed input and maps positions back,
+    which keeps ties in original order for any comparable dtype.
+    """
+    if not descending:
+        return np.argsort(values, kind="stable")
+    n = len(values)
+    return n - 1 - np.argsort(values[::-1], kind="stable")[::-1]
+
+
 def sort(b: BAT, descending: bool = False) -> tuple[BAT, BAT]:
     """Stable sort of the tail values.
 
@@ -16,9 +32,7 @@ def sort(b: BAT, descending: bool = False) -> tuple[BAT, BAT]:
     columns through ``order`` applies the same permutation (ORDER BY over a
     multi-column result).
     """
-    order = np.argsort(b.tail, kind="stable")
-    if descending:
-        order = order[::-1].copy()
+    order = _stable_argsort(b.tail, descending)
     values = BAT(b.tail[order], b.atom)
     oids = BAT(order.astype(np.int64) + b.hseq, Atom.OID)
     return values, oids
@@ -28,13 +42,11 @@ def sort_refine(order: BAT, b: BAT, descending: bool = False) -> BAT:
     """Refine an existing order by a further (lower-priority) key.
 
     Used for multi-key ORDER BY: sort by the last key first, then refine by
-    earlier keys with a stable sort.
+    earlier keys with a stable sort (both directions must be tie-stable).
     """
     positions = b.positions_of(order.tail)
     key = b.tail[positions]
-    refine = np.argsort(key, kind="stable")
-    if descending:
-        refine = refine[::-1].copy()
+    refine = _stable_argsort(key, descending)
     return BAT(order.tail[refine], Atom.OID)
 
 

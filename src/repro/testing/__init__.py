@@ -10,6 +10,7 @@ from repro.testing.faults import (
     InjectedFault,
     SlowFactory,
     StallingSource,
+    wait_until,
 )
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "InjectedFault",
     "SlowFactory",
     "StallingSource",
+    "wait_until",
 ]

@@ -22,7 +22,9 @@ Injectors (each wraps the real component and delegates everything else):
   to make producers outrun the scheduler without huge data volumes).
 
 All injectors are thread-safe where the wrapped component is driven from
-scheduler/receptor threads.
+scheduler/receptor threads.  :func:`wait_until` is the polling barrier the
+concurrency tests use to sequence threads on observable state instead of
+fixed sleeps.
 """
 
 from __future__ import annotations
@@ -41,6 +43,26 @@ from repro.kernel.execution.profiler import Profiler
 class InjectedFault(ReproError):
     """Raised by fault injectors; never raised by the engine itself, so
     tests can assert a failure came from the harness."""
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    timeout: float = 5.0,
+    interval: float = 0.001,
+) -> bool:
+    """Poll ``predicate`` until it holds; ``False`` on timeout.
+
+    The deterministic alternative to ``time.sleep(guess)`` in concurrency
+    tests: the caller names the exact state transition it is waiting for
+    (e.g. "both producers are parked on the basket's not-full condition")
+    instead of hoping a fixed delay was long enough on a loaded machine.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
 
 
 class StallingSource:

@@ -1,0 +1,74 @@
+"""Generative differential testing for the DataCell engine.
+
+The paper's Figure-3 rewriting must be semantically invisible: every
+incremental plan has to produce exactly what full re-evaluation (and any
+other faithful executor) produces.  This package hunts violations
+mechanically — see the submodule docstrings for the moving parts:
+
+* :mod:`~repro.testing.fuzz.generator` — random valid continuous queries
+  over the operator taxonomy, plus matching feeds;
+* :mod:`~repro.testing.fuzz.reference` — an independent naive evaluator;
+* :mod:`~repro.testing.fuzz.oracle` — the four-way differential runner;
+* :mod:`~repro.testing.fuzz.metamorphic` — input-transform invariants;
+* :mod:`~repro.testing.fuzz.minimize` — shrinker + ``.repro.json``;
+* :mod:`~repro.testing.fuzz.runner` — the ``repro fuzz`` CLI session.
+"""
+
+from repro.testing.fuzz.generator import (
+    TAXONOMY,
+    Feed,
+    FuzzQuery,
+    QueryGenerator,
+    WindowGeometry,
+    build_engine,
+)
+from repro.testing.fuzz.metamorphic import RELATIONS, check_relation
+from repro.testing.fuzz.minimize import (
+    ReproCase,
+    evaluate_case,
+    load_case,
+    shrink,
+    write_case,
+)
+from repro.testing.fuzz.oracle import (
+    Divergence,
+    OracleConfig,
+    OracleResult,
+    run_incremental,
+    run_oracle,
+)
+from repro.testing.fuzz.reference import (
+    ReferenceOracle,
+    canon_rows,
+    check_sorted,
+    rows_equivalent,
+)
+from repro.testing.fuzz.runner import FuzzSession, replay, run_fuzz_cli
+
+__all__ = [
+    "TAXONOMY",
+    "RELATIONS",
+    "Feed",
+    "FuzzQuery",
+    "QueryGenerator",
+    "WindowGeometry",
+    "build_engine",
+    "check_relation",
+    "ReproCase",
+    "evaluate_case",
+    "load_case",
+    "shrink",
+    "write_case",
+    "Divergence",
+    "OracleConfig",
+    "OracleResult",
+    "run_incremental",
+    "run_oracle",
+    "ReferenceOracle",
+    "canon_rows",
+    "check_sorted",
+    "rows_equivalent",
+    "FuzzSession",
+    "replay",
+    "run_fuzz_cli",
+]

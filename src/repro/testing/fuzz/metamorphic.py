@@ -1,0 +1,198 @@
+"""Metamorphic relations over generated queries (paper Figure 3 algebra).
+
+Each relation reruns the *incremental* engine on a transformed input and
+demands the output stays equivalent — no second implementation needed,
+so these catch bugs even where all four oracle legs share a blind spot:
+
+* **feed-batch-split invariance** — how arrivals are batched into
+  ``feed()`` calls must not matter (shakes basket admission, partial
+  fragments, the scheduler);
+* **intra-basic-window permutation invariance** — permuting tuples
+  *within* one basic window (count-based only) leaves every window's
+  multiset unchanged, so results must match up to row order and float
+  summation noise;
+* **basic-window-count invariance** — the same focus window |W| sliced
+  by a different |w'| must agree on every window whose span coincides
+  (single-stream count-based sliding; paper §3's n = |W|/|w| axis).
+
+Every relation is deterministic given its integer ``seed`` (the
+``.repro.json`` replay format stores it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.testing.fuzz.generator import Feed, FuzzQuery, WindowGeometry
+from repro.testing.fuzz.oracle import Divergence, normalize_chunks, run_incremental
+from repro.testing.fuzz.reference import rows_equivalent
+
+RELATIONS = ("batch-split", "permutation", "window-count")
+
+
+def random_chunk_plan(
+    rng: np.random.Generator, query: FuzzQuery, feed: Feed
+) -> dict[str, list[int]]:
+    """A random per-stream split of the feed into 1..5 batches."""
+    plan: dict[str, list[int]] = {}
+    for name in query.streams:
+        total = feed.row_count(name)
+        parts = int(rng.integers(1, 6))
+        if total <= 1 or parts <= 1:
+            plan[name] = [max(total, 1)]
+            continue
+        cuts = sorted(
+            int(v) for v in rng.integers(1, total, size=min(parts - 1, total - 1))
+        )
+        sizes = []
+        prev = 0
+        for cut in cuts + [total]:
+            if cut > prev:
+                sizes.append(cut - prev)
+                prev = cut
+        plan[name] = normalize_chunks(total, sizes)
+    return plan
+
+
+def check_relation(
+    name: str,
+    query: FuzzQuery,
+    feed: Feed,
+    seed: int,
+    float_tol: float = 1e-6,
+) -> Optional[Divergence]:
+    """Run one relation by name; None when it holds or does not apply."""
+    relation: Callable = {
+        "batch-split": batch_split_invariance,
+        "permutation": permutation_invariance,
+        "window-count": window_count_invariance,
+    }[name]
+    return relation(query, feed, seed, float_tol)
+
+
+def _compare(
+    base: list[list[tuple]],
+    variant: list[list[tuple]],
+    relation: str,
+    float_tol: float,
+) -> Optional[Divergence]:
+    if len(base) != len(variant):
+        return Divergence(
+            "window-count",
+            "incremental",
+            relation,
+            None,
+            f"{len(base)} vs {len(variant)} windows",
+        )
+    for index, (left, right) in enumerate(zip(base, variant)):
+        if not rows_equivalent(left, right, float_tol):
+            return Divergence(
+                "rows",
+                "incremental",
+                relation,
+                index,
+                f"{left[:4]!r} vs {right[:4]!r}",
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+def batch_split_invariance(
+    query: FuzzQuery, feed: Feed, seed: int, float_tol: float = 1e-6
+) -> Optional[Divergence]:
+    """Two different feed chunkings must produce identical windows."""
+    rng = np.random.default_rng([seed, 1])
+    base = run_incremental(query, feed, chunk_plan=None)
+    variant = run_incremental(
+        query, feed, chunk_plan=random_chunk_plan(rng, query, feed)
+    )
+    return _compare(base, variant, "batch-split", float_tol)
+
+
+def permutation_invariance(
+    query: FuzzQuery, feed: Feed, seed: int, float_tol: float = 1e-6
+) -> Optional[Divergence]:
+    """Permuting rows inside each basic window must not change results.
+
+    Only count-based streams are permuted (a time-based stream's window
+    membership depends on each tuple's own timestamp); a query with no
+    count-based stream is skipped.
+    """
+    rng = np.random.default_rng([seed, 2])
+    permuted = Feed(
+        columns={s: dict(cols) for s, cols in feed.columns.items()},
+        timestamps=dict(feed.timestamps),
+        punctuate=dict(feed.punctuate),
+    )
+    touched = False
+    for name, geometry in query.windows.items():
+        if geometry.time_based:
+            continue
+        total = feed.row_count(name)
+        step = geometry.step
+        order = np.arange(total)
+        for start in range(0, total - total % step, step):
+            block = order[start : start + step].copy()
+            rng.shuffle(block)
+            order[start : start + step] = block
+        if np.array_equal(order, np.arange(total)):
+            continue
+        touched = True
+        permuted.columns[name] = {
+            col: [values[i] for i in order]
+            for col, values in feed.columns[name].items()
+        }
+    if not touched:
+        return None
+    base = run_incremental(query, feed)
+    variant = run_incremental(query, permuted)
+    return _compare(base, variant, "permutation", float_tol)
+
+
+def window_count_invariance(
+    query: FuzzQuery, feed: Feed, seed: int, float_tol: float = 1e-6
+) -> Optional[Divergence]:
+    """Same |W|, different |w|: coinciding window spans must agree.
+
+    Applies to single-stream count-based sliding/tumbling queries whose
+    window size has more than one divisor.  Window ``k`` under step ``w``
+    spans ``[k·w, k·w + W)`` — it coincides with window ``k·w / w'``
+    under step ``w'`` whenever ``k·w`` is a multiple of ``w'``.
+    """
+    if len(query.aliases) != 1:
+        return None
+    alias = query.aliases[0]
+    geometry = query.windows[alias]
+    if geometry.time_based or geometry.kind == "landmark" or not geometry.size:
+        return None
+    size = geometry.size
+    divisors = [d for d in range(1, size + 1) if size % d == 0 and d != geometry.step]
+    if not divisors:
+        return None
+    rng = np.random.default_rng([seed, 3])
+    alternate = int(divisors[int(rng.integers(len(divisors)))])
+    kind = "tumbling" if alternate == size else "sliding"
+    variant_geometry = WindowGeometry(kind, size, alternate, False)
+    base = run_incremental(query, feed)
+    variant = run_incremental(
+        query, feed, sql=query.render(windows={alias: variant_geometry})
+    )
+    for k, window in enumerate(base):
+        start = k * geometry.step
+        if start % alternate != 0:
+            continue
+        k_prime = start // alternate
+        if k_prime >= len(variant):
+            break
+        if not rows_equivalent(window, variant[k_prime], float_tol):
+            return Divergence(
+                "rows",
+                "incremental",
+                "window-count",
+                k,
+                f"step {geometry.step} window {k} != step {alternate} "
+                f"window {k_prime}: {window[:4]!r} vs {variant[k_prime][:4]!r}",
+            )
+    return None

@@ -1,0 +1,320 @@
+"""Four-way differential oracle for generated continuous queries.
+
+Each generated query is executed on up to six legs and every fired
+window is compared across them:
+
+* ``incremental`` — the paper's DataCell (split/replicate/merge plans);
+* ``reeval`` — the DataCellR full-recompute baseline;
+* ``systemx`` — the specialized tuple-at-a-time simulation (skipped for
+  time-based windows and stream⋈table joins, which it rejects);
+* ``reference`` — the naive Python evaluator
+  (:mod:`repro.testing.fuzz.reference`);
+* ``incremental-dup`` — a second identical incremental query in the same
+  engine, so the cross-query fragment cache serves shared fragments;
+* ``incremental-chunked`` — the same plan driven through
+  ``step_chunked(m)`` (single-stream count-based sliding only).
+
+Configurable axes (workers, fragment sharing, feed chunking) shake the
+concurrency and caching layers with the *same* query; results must be
+invariant.  Window rows are compared as multisets with float tolerance;
+when the query has ORDER BY, each engine's emission order is additionally
+checked for sortedness (ties stay unconstrained — LIMIT is never
+generated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.engine import ContinuousQuery, DataCellEngine, _as_schema
+from repro.dsms.engine import SystemX
+from repro.errors import ReproError
+from repro.testing.fuzz.generator import Feed, FuzzQuery, build_engine
+from repro.testing.fuzz.reference import (
+    ReferenceOracle,
+    check_sorted,
+    rows_equivalent,
+)
+
+#: Comparison legs in pivot-first order.
+PIVOT = "incremental"
+
+
+@dataclass
+class OracleConfig:
+    """One oracle run's execution axes."""
+
+    workers: int = 1
+    fragment_sharing: bool = True
+    duplicate: bool = False  # second incremental query (fragment sharing)
+    chunk_plan: Optional[dict[str, list[int]]] = None  # feed batch sizes
+    step_chunk: Optional[int] = None  # m for step_chunked (chunk_ok only)
+    float_tol: float = 1e-6
+
+    def to_json(self) -> dict:
+        return {
+            "workers": self.workers,
+            "fragment_sharing": self.fragment_sharing,
+            "duplicate": self.duplicate,
+            "chunk_plan": self.chunk_plan,
+            "step_chunk": self.step_chunk,
+            "float_tol": self.float_tol,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "OracleConfig":
+        return OracleConfig(
+            workers=data.get("workers", 1),
+            fragment_sharing=data.get("fragment_sharing", True),
+            duplicate=data.get("duplicate", False),
+            chunk_plan=data.get("chunk_plan"),
+            step_chunk=data.get("step_chunk"),
+            float_tol=data.get("float_tol", 1e-6),
+        )
+
+    def describe(self) -> str:
+        parts = [f"workers={self.workers}", f"sharing={self.fragment_sharing}"]
+        if self.duplicate:
+            parts.append("dup")
+        if self.step_chunk:
+            parts.append(f"m={self.step_chunk}")
+        if self.chunk_plan:
+            parts.append("chunked-feed")
+        return " ".join(parts)
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between two oracle legs."""
+
+    kind: str  # "window-count" | "rows" | "order" | "error" | "lint"
+    left: str
+    right: str
+    window: Optional[int]
+    detail: str
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "left": self.left,
+            "right": self.right,
+            "window": self.window,
+            "detail": self.detail,
+        }
+
+    def describe(self) -> str:
+        where = f" window {self.window}" if self.window is not None else ""
+        return f"{self.kind} {self.left} vs {self.right}{where}: {self.detail}"
+
+
+@dataclass
+class OracleResult:
+    divergence: Optional[Divergence]
+    windows: dict[str, list[list[tuple]]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+
+# ----------------------------------------------------------------------
+# feeding
+# ----------------------------------------------------------------------
+def normalize_chunks(total: int, sizes: Optional[list[int]]) -> list[int]:
+    """Positive chunk sizes covering exactly ``total`` rows."""
+    if total <= 0:
+        return []
+    if not sizes:
+        return [total]
+    out: list[int] = []
+    used = 0
+    for size in sizes:
+        size = min(max(int(size), 1), total - used)
+        if size <= 0:
+            break
+        out.append(size)
+        used += size
+        if used >= total:
+            break
+    if used < total:
+        out.append(total - used)
+    return out
+
+
+def _feed_rounds(
+    engine: DataCellEngine,
+    query: FuzzQuery,
+    feed: Feed,
+    chunk_plan: Optional[dict[str, list[int]]],
+    on_round,
+    systemx: Optional[SystemX] = None,
+) -> None:
+    """Feed all streams in interleaved chunk rounds, firing after each."""
+    plans = {
+        name: normalize_chunks(
+            feed.row_count(name),
+            (chunk_plan or {}).get(name),
+        )
+        for name in query.streams
+    }
+    offsets = {name: 0 for name in query.streams}
+    rounds = max((len(p) for p in plans.values()), default=0)
+    for index in range(rounds):
+        for name, sizes in plans.items():
+            if index >= len(sizes):
+                continue
+            lo = offsets[name]
+            hi = lo + sizes[index]
+            offsets[name] = hi
+            columns = {
+                col: values[lo:hi]
+                for col, values in feed.columns[name].items()
+            }
+            ts = feed.timestamps.get(name)
+            engine.feed(
+                name,
+                columns=columns,
+                timestamps=ts[lo:hi] if ts is not None else None,
+            )
+            if systemx is not None:
+                for row in feed.rows(name, query.streams[name])[lo:hi]:
+                    systemx.push(name, row)
+        on_round()
+    for name, watermark in feed.punctuate.items():
+        engine.advance_time(name, watermark)
+    on_round()
+
+
+# ----------------------------------------------------------------------
+# running one engine-side configuration
+# ----------------------------------------------------------------------
+def run_incremental(
+    query: FuzzQuery,
+    feed: Feed,
+    chunk_plan: Optional[dict[str, list[int]]] = None,
+    workers: int = 1,
+    fragment_sharing: bool = True,
+    sql: Optional[str] = None,
+) -> list[list[tuple]]:
+    """One incremental leg alone (the metamorphic relations' workhorse).
+
+    ``sql`` overrides the rendered query text (e.g. substituted window
+    geometries) while keeping the query's schemas and feed.
+    """
+    engine = build_engine(query, workers=workers, fragment_sharing=fragment_sharing)
+    try:
+        handle = engine.submit(sql if sql is not None else query.sql)
+        _feed_rounds(
+            engine, query, feed, chunk_plan, on_round=engine.run_until_idle
+        )
+        return [batch.rows() for batch in handle.results()]
+    finally:
+        engine.close()
+
+
+def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResult:
+    """Execute every applicable leg and compare all fired windows."""
+    windows: dict[str, list[list[tuple]]] = {}
+    reference = ReferenceOracle(query)
+    windows["reference"] = reference.windows(feed)
+
+    systemx: Optional[SystemX] = None
+    sysx_query = None
+    if query.systemx_ok:
+        systemx = SystemX()
+        for name, cols in query.streams.items():
+            systemx.create_stream(name, _as_schema(cols))
+        sysx_query = systemx.submit(query.sql)
+
+    engine = build_engine(
+        query, workers=config.workers, fragment_sharing=config.fragment_sharing
+    )
+    chunk_batches: list = []
+    try:
+        incremental: ContinuousQuery = engine.submit(query.sql, name="qi")
+        reeval = engine.submit(query.sql, mode="reeval", name="qr")
+        duplicate = (
+            engine.submit(query.sql, name="qd") if config.duplicate else None
+        )
+        chunked = None
+        if config.step_chunk and query.chunk_ok:
+            chunked = engine.submit(query.sql, name="qc")
+
+        def fire() -> None:
+            if chunked is not None:
+                while True:
+                    batch = chunked.factory.step_chunked(config.step_chunk)
+                    if batch is None:
+                        break
+                    chunk_batches.append(batch)
+            engine.run_until_idle()
+
+        try:
+            _feed_rounds(
+                engine, query, feed, config.chunk_plan, fire, systemx=systemx
+            )
+        except ReproError as exc:
+            return OracleResult(
+                Divergence("error", "engine", "feed", None, str(exc)), windows
+            )
+        windows[PIVOT] = [b.rows() for b in incremental.results()]
+        windows["reeval"] = [b.rows() for b in reeval.results()]
+        if duplicate is not None:
+            windows["incremental-dup"] = [b.rows() for b in duplicate.results()]
+        if chunked is not None:
+            windows["incremental-chunked"] = [b.rows() for b in chunk_batches]
+    finally:
+        engine.close()
+    if sysx_query is not None:
+        windows["systemx"] = [list(rows) for rows in sysx_query.results]
+
+    return OracleResult(compare_windows(windows, reference, config), windows)
+
+
+def compare_windows(
+    windows: dict[str, list[list[tuple]]],
+    reference: ReferenceOracle,
+    config: OracleConfig,
+) -> Optional[Divergence]:
+    """First divergence between the pivot leg and every other leg."""
+    pivot = windows[PIVOT]
+    for label, other in windows.items():
+        if label == PIVOT:
+            continue
+        if len(other) != len(pivot):
+            return Divergence(
+                "window-count",
+                PIVOT,
+                label,
+                None,
+                f"{len(pivot)} vs {len(other)} windows",
+            )
+        for index, (left, right) in enumerate(zip(pivot, other)):
+            if not rows_equivalent(left, right, config.float_tol):
+                return Divergence(
+                    "rows",
+                    PIVOT,
+                    label,
+                    index,
+                    f"{_preview(left)} vs {_preview(right)}",
+                )
+    if reference.order_keys:
+        for label in (PIVOT, "reeval", "systemx", "incremental-dup"):
+            for index, rows in enumerate(windows.get(label, ())):
+                if not check_sorted(rows, reference.order_keys, config.float_tol):
+                    return Divergence(
+                        "order",
+                        label,
+                        "order-by",
+                        index,
+                        f"rows not sorted: {_preview(rows)}",
+                    )
+    return None
+
+
+def _preview(rows: list[tuple], limit: int = 6) -> str:
+    text = repr(rows[:limit])
+    if len(rows) > limit:
+        text = text[:-1] + f", ... {len(rows)} rows]"
+    return text

@@ -1,0 +1,388 @@
+"""Naive Python reference evaluator for generated continuous queries.
+
+The fourth oracle leg: a from-scratch interpreter that shares *no* code
+with the kernel's physical compiler, the incremental rewriter, or the
+SystemX simulation.  It reuses only the SQL front end (parse → plan →
+:func:`repro.core.rewriter.analysis.analyze`) to agree on what the query
+*means*, then evaluates each fired window by brute force over Python row
+dicts — per-window full recompute, nested-loop joins, dict-based
+grouping.
+
+Window semantics implemented here (matching the engine's contracts):
+
+* count sliding/tumbling: window ``k`` holds rows ``[k·w, k·w + W)`` and
+  fires once ``W + k·w`` tuples arrived;
+* count landmark: window ``k`` holds rows ``[0, (k+1)·w)``;
+* time sliding: window ``k`` covers ``[origin + k·w, origin + k·w + W)``
+  with ``origin`` the first tuple's timestamp; it fires when the
+  watermark reaches ``origin + W + k·w`` (empty time windows *do* fire);
+* time landmark: window ``k`` covers ``[origin, origin + (k+1)·w)``;
+* joins fire ``min`` over the sides' fired-window counts;
+* a window with zero qualifying rows emits one all-zero row iff the
+  query is a global aggregation whose aggregates are all ``count``,
+  otherwise nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.engine import _as_schema
+from repro.core.rewriter.analysis import PlanShape, StreamInput, analyze
+from repro.errors import ReproError
+from repro.kernel.storage import Catalog
+from repro.sql.ast import BinOp, ColumnRef, Expr, Literal, UnaryOp
+from repro.sql.optimizer import optimize
+from repro.sql.planner import plan_query
+from repro.testing.fuzz.generator import Feed, FuzzQuery
+
+
+def _catalog_for(query: FuzzQuery) -> Catalog:
+    catalog = Catalog()
+    for name, cols in query.streams.items():
+        catalog.create_stream(name, _as_schema(cols))
+    for name, table in query.tables.items():
+        handle = catalog.create_table(name, _as_schema(table["columns"]))
+        if table["rows"]:
+            handle.append_rows([tuple(r) for r in table["rows"]])
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# expression evaluation over row environments
+# ----------------------------------------------------------------------
+def _lookup(env: dict, ref: ColumnRef):
+    if ref.table is not None:
+        return env[ref.table][ref.name]
+    if "" in env and ref.name in env[""]:
+        return env[""][ref.name]
+    for scope in env.values():
+        if ref.name in scope:
+            return scope[ref.name]
+    raise KeyError(ref.name)
+
+
+def eval_scalar(expr: Expr, env: dict):
+    """Evaluate a non-aggregate expression over ``{alias: {col: value}}``."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return _lookup(env, expr)
+    if isinstance(expr, UnaryOp):
+        value = eval_scalar(expr.operand, env)
+        return (not value) if expr.op == "not" else -value
+    if isinstance(expr, BinOp):
+        if expr.op == "and":
+            return bool(eval_scalar(expr.left, env)) and bool(
+                eval_scalar(expr.right, env)
+            )
+        if expr.op == "or":
+            return bool(eval_scalar(expr.left, env)) or bool(
+                eval_scalar(expr.right, env)
+            )
+        left = eval_scalar(expr.left, env)
+        right = eval_scalar(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right if right != 0 else float("nan")
+        if expr.op == "%":
+            return left % right if right != 0 else float("nan")
+        if expr.op == "==":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+        raise ReproError(f"reference: unknown operator {expr.op!r}")
+    raise ReproError(f"reference: unknown expression {type(expr).__name__}")
+
+
+def _aggregate_value(func: str, values: list):
+    if func == "count":
+        return len(values)
+    if not values:
+        raise ReproError("reference: empty non-count aggregate group")
+    if func == "sum":
+        return sum(values)
+    if func == "min":
+        return min(values)
+    if func == "max":
+        return max(values)
+    if func == "avg":
+        return sum(values) / len(values)
+    raise ReproError(f"reference: unknown aggregate {func!r}")
+
+
+# ----------------------------------------------------------------------
+# window slicing
+# ----------------------------------------------------------------------
+def _fired_count(
+    stream: StreamInput,
+    n_rows: int,
+    ts: Optional[list[int]],
+    watermark: Optional[int],
+) -> int:
+    window = stream.window
+    if window.time_based:
+        if not ts or watermark is None:
+            return 0
+        origin = ts[0]
+        if window.is_landmark:
+            return max(0, (watermark - origin) // window.step)
+        if watermark < origin + window.size:
+            return 0
+        return (watermark - origin - window.size) // window.step + 1
+    if window.is_landmark:
+        return n_rows // window.step
+    if n_rows < window.size:
+        return 0
+    return (n_rows - window.size) // window.step + 1
+
+
+def _window_rows(
+    stream: StreamInput,
+    rows: list[dict],
+    ts: Optional[list[int]],
+    index: int,
+) -> list[dict]:
+    window = stream.window
+    if window.time_based:
+        assert ts is not None
+        origin = ts[0]
+        if window.is_landmark:
+            low, high = origin, origin + (index + 1) * window.step
+        else:
+            low = origin + index * window.step
+            high = low + window.size
+        return [row for row, t in zip(rows, ts) if low <= t < high]
+    if window.is_landmark:
+        return rows[: (index + 1) * window.step]
+    start = index * window.step
+    return rows[start : start + window.size]
+
+
+# ----------------------------------------------------------------------
+# the oracle
+# ----------------------------------------------------------------------
+class ReferenceOracle:
+    """Evaluate a generated query over a feed, window by window."""
+
+    def __init__(self, query: FuzzQuery) -> None:
+        self.query = query
+        catalog = _catalog_for(query)
+        self.planned = optimize(plan_query(query.sql, catalog))
+        self.shape: PlanShape = analyze(self.planned)
+        self.output_names = [name for __, name in self.shape.project.items]
+        order = self.shape.order
+        self.order_keys: list[tuple[int, bool]] = []
+        if order is not None:
+            positions = {name: i for i, name in enumerate(self.output_names)}
+            self.order_keys = [
+                (positions[name], desc) for name, desc in order.keys
+            ]
+        self._table_rows: list[dict] = []
+        if self.shape.table is not None:
+            table = query.tables[self.shape.table.scan.relation]
+            names = [c for c, __ in table["columns"]]
+            rows = [dict(zip(names, r)) for r in table["rows"]]
+            predicate = self.shape.table.predicate
+            alias = self.shape.table.alias
+            if predicate is not None:
+                rows = [
+                    r for r in rows if eval_scalar(predicate, {alias: r})
+                ]
+            self._table_rows = rows
+
+    # ------------------------------------------------------------------
+    def windows(self, feed: Feed) -> list[list[tuple]]:
+        """All fired windows' result rows (unordered unless ORDER BY)."""
+        sides: list[tuple[StreamInput, list[dict], Optional[list[int]]]] = []
+        counts: list[int] = []
+        for stream in self.shape.streams:
+            name = stream.scan.relation
+            schema = self.query.streams[name]
+            cols = feed.columns[name]
+            n = feed.row_count(name)
+            rows = [
+                {col: cols[col][i] for col, __ in schema}
+                for i in range(n)
+            ]
+            ts = feed.timestamps.get(name)
+            counts.append(_fired_count(stream, n, ts, feed.watermark(name)))
+            sides.append((stream, rows, ts))
+        fired = min(counts) if counts else 0
+        return [self._evaluate(sides, k) for k in range(fired)]
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, sides, index: int) -> list[tuple]:
+        envs = self._join_envs(sides, index)
+        shape = self.shape
+        if shape.residual is not None:
+            envs = [e for e in envs if eval_scalar(shape.residual, e)]
+        if shape.aggregate is not None:
+            rows = self._aggregate(envs)
+        else:
+            rows = [
+                tuple(eval_scalar(expr, env) for expr, __ in shape.project.items)
+                for env in envs
+            ]
+        if shape.distinct:
+            seen: set = set()
+            unique = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows = unique
+        # ORDER BY affects presentation order only; the comparator checks
+        # sortedness separately, so no need to sort here.  LIMIT is never
+        # generated (ties make it nondeterministic).
+        return rows
+
+    def _join_envs(self, sides, index: int) -> list[dict]:
+        shape = self.shape
+        filtered: list[tuple[str, list[dict]]] = []
+        for stream, rows, ts in sides:
+            window = _window_rows(stream, rows, ts, index)
+            if stream.predicate is not None:
+                window = [
+                    r
+                    for r in window
+                    if eval_scalar(stream.predicate, {stream.alias: r})
+                ]
+            filtered.append((stream.alias, window))
+        if shape.join is None:
+            alias, rows = filtered[0]
+            return [{alias: row} for row in rows]
+        if shape.table is not None:
+            filtered.append((shape.table.alias, self._table_rows))
+        (la, lrows), (ra, rrows) = filtered
+        left_key, right_key = shape.join.left_key, shape.join.right_key
+        envs = []
+        for lrow in lrows:
+            for rrow in rrows:
+                env = {la: lrow, ra: rrow}
+                if eval_scalar(left_key, env) == eval_scalar(right_key, env):
+                    envs.append(env)
+        return envs
+
+    def _aggregate(self, envs: list[dict]) -> list[tuple]:
+        shape = self.shape
+        aggregate = shape.aggregate
+        assert aggregate is not None
+        groups: dict[tuple, list[dict]] = {}
+        for env in envs:
+            key = tuple(eval_scalar(k, env) for k in aggregate.keys)
+            groups.setdefault(key, []).append(env)
+        if not groups and not aggregate.keys:
+            if all(spec.func == "count" for spec in aggregate.aggs):
+                groups[()] = []  # count-only global aggregate: a zero row
+            else:
+                return []
+        rows = []
+        for key, members in groups.items():
+            flat: dict = {f"key_{i}": v for i, v in enumerate(key)}
+            for spec in aggregate.aggs:
+                if spec.arg is None:
+                    values = members  # count(*)
+                    flat[spec.out] = len(members)
+                else:
+                    values = [eval_scalar(spec.arg, m) for m in members]
+                    flat[spec.out] = _aggregate_value(spec.func, values)
+            env = {"": flat}
+            if shape.having is not None and not eval_scalar(shape.having, env):
+                continue
+            rows.append(
+                tuple(eval_scalar(expr, env) for expr, __ in shape.project.items)
+            )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# canonical comparison
+# ----------------------------------------------------------------------
+def _canon_value(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        return round(value, 6) + 0.0
+    if hasattr(value, "item"):  # numpy scalar
+        return _canon_value(value.item())
+    return value
+
+
+def canon_rows(rows: list[tuple]) -> list[tuple]:
+    """Order-insensitive canonical form: normalized values, sorted rows."""
+    return sorted(
+        (tuple(_canon_value(v) for v in row) for row in rows),
+        key=lambda r: tuple((str(type(v)), str(v)) for v in r),
+    )
+
+
+def _values_close(a, b, tol: float) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        fa, fb = float(a), float(b)
+        if math.isnan(fa) or math.isnan(fb):
+            return math.isnan(fa) and math.isnan(fb)
+        return abs(fa - fb) <= tol + tol * max(abs(fa), abs(fb))
+    return a == b
+
+
+def rows_equivalent(
+    left: list[tuple], right: list[tuple], tol: float = 1e-6
+) -> bool:
+    """Multiset equality with float tolerance.
+
+    The fast path compares rounded canonical forms; on mismatch an O(n²)
+    greedy matching absorbs values straddling a rounding boundary
+    (windows are small, so the quadratic fallback is cheap).
+    """
+    if len(left) != len(right):
+        return False
+    cl, cr = canon_rows(left), canon_rows(right)
+    if cl == cr:
+        return True
+    remaining = list(cr)
+    for row in cl:
+        for index, other in enumerate(remaining):
+            if len(row) == len(other) and all(
+                _values_close(a, b, tol) for a, b in zip(row, other)
+            ):
+                del remaining[index]
+                break
+        else:
+            return False
+    return True
+
+
+def check_sorted(
+    rows: list[tuple], order_keys: list[tuple[int, bool]], tol: float = 1e-6
+) -> bool:
+    """True if ``rows`` respect the ORDER BY keys (ties unconstrained)."""
+    for prev, cur in zip(rows, rows[1:]):
+        for position, descending in order_keys:
+            a, b = prev[position], cur[position]
+            if _values_close(a, b, tol):
+                continue
+            if descending:
+                if a > b:
+                    break
+                return False
+            if a < b:
+                break
+            return False
+    return True

@@ -8,9 +8,24 @@ SystemX) is checked against them in the equivalence tests.
 from __future__ import annotations
 
 import collections
+import os
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Hypothesis profiles: `ci` is derandomized (reproducible runs, bounded
+# example counts, a hard deadline) for the pipeline; `dev` explores more
+# examples with fresh entropy locally.  Select with HYPOTHESIS_PROFILE.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=30,
+    deadline=2000,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=100, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cli import Console, _parse_schema
+from repro.core.overflow import ShedOldest
 from repro.errors import ReproError
 from repro.workloads import write_csv
 
@@ -128,3 +129,102 @@ class TestCommands:
         from repro.cli import main
 
         assert main([str(script)]) == 0
+
+
+class TestStatsCommand:
+    """The STATS console command: overload counters + factory profiles."""
+
+    def test_stats_empty_engine_prints_nothing(self):
+        __, out = run_script(["STATS"])
+        assert "-- streams" not in out
+        assert "-- factories" not in out
+
+    def test_stats_reports_overload_counters(self):
+        console = Console(out=io.StringIO(), capacity=3, overflow=ShedOldest())
+        console.execute("CREATE STREAM s (x1 int)")
+        console.execute("SUBMIT SELECT count(*) AS n FROM s [RANGE 2 SLIDE 2]")
+        console.engine.feed("s", rows=[(i,) for i in range(5)])  # 2 shed
+        console.execute("STATS")
+        out = console.out.getvalue()
+        assert "-- streams" in out
+        assert "capacity=3" in out
+        assert "shed=2" in out
+
+    def test_stats_reports_factory_profiles_after_run(self):
+        console, out = run_script(
+            [
+                "CREATE STREAM s (x1 int)",
+                "SUBMIT SELECT count(*) AS n FROM s [RANGE 2 SLIDE 2]",
+            ]
+        )
+        console.engine.feed("s", rows=[(1,), (2,)])
+        console.execute("RUN")
+        console.execute("STATS")
+        out = console.out.getvalue()
+        assert "-- factories" in out
+        assert "fired 1 window(s)" in out
+
+    def test_unbounded_stream_stats_label(self):
+        console, out = run_script(["CREATE STREAM s (x1 int)", "STATS"])
+        assert "capacity=unbounded" in console.out.getvalue()
+
+
+class TestMainFlagParsing:
+    """`python -m repro` flag handling: --workers/--capacity/--overflow."""
+
+    def run_main(self, args, tmp_path, script_text="QUIT\n"):
+        from repro.cli import main
+
+        script = tmp_path / "session.dcl"
+        script.write_text(script_text)
+        return main([*args, str(script)])
+
+    def test_capacity_and_overflow_happy_path(self, tmp_path, capsys):
+        code = self.run_main(
+            ["--capacity", "4", "--overflow", "shed-oldest"],
+            tmp_path,
+            "CREATE STREAM s (x1 int)\nQUIT\n",
+        )
+        assert code == 0
+        assert "capacity 4, overflow shed-oldest" in capsys.readouterr().out
+
+    def test_inline_flag_values(self, tmp_path, capsys):
+        code = self.run_main(
+            ["--capacity=2", "--overflow=block:0.5"],
+            tmp_path,
+            "CREATE STREAM s (x1 int)\nQUIT\n",
+        )
+        assert code == 0
+        assert "overflow block:0.5" in capsys.readouterr().out
+
+    def test_capacity_without_overflow_defaults_to_fail(self, tmp_path, capsys):
+        code = self.run_main(
+            ["--capacity", "4"], tmp_path, "CREATE STREAM s (x1 int)\nQUIT\n"
+        )
+        assert code == 0
+        assert "overflow fail" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ["--capacity"],            # missing value
+            ["--capacity", "0"],       # must be positive
+            ["--capacity", "nope"],    # not an integer
+            ["--workers", "0"],        # must be >= 1
+            ["--overflow", "bogus", "--capacity", "4"],   # unknown policy
+            ["--overflow", "shed-oldest"],                # needs --capacity
+            ["--frobnicate", "1"],     # unknown flag
+        ],
+    )
+    def test_malformed_flags_exit_2(self, args, tmp_path, capsys):
+        assert self.run_main(args, tmp_path) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_overflow_sample_spec_parses(self, tmp_path, capsys):
+        code = self.run_main(
+            ["--capacity", "8", "--overflow", "sample:0.5:7"],
+            tmp_path,
+            "CREATE STREAM s (x1 int)\nQUIT\n",
+        )
+        assert code == 0
+        assert "overflow sample:0.5" in capsys.readouterr().out

@@ -116,3 +116,17 @@ def test_lint_sql_warns_on_unsupported_but_does_not_fail():
     assert report.ok
     assert any("not rewritable" in d.message for d in report.warnings())
     assert dump is None
+
+
+def test_lint_fuzz_corpus_passes():
+    code, output = run(["--fuzz", "12", "--seed", "5", "--quiet"])
+    assert code == 0, output
+    assert "12 queries checked, 0 failed" in output
+    assert "--fuzz[0]" in output
+
+
+def test_lint_fuzz_corpus_is_deterministic():
+    first = run(["--fuzz", "6", "--seed", "9", "--quiet"])
+    second = run(["--fuzz", "6", "--seed", "9", "--quiet"])
+    assert first == second
+    assert first != run(["--fuzz", "6", "--seed", "10", "--quiet"])

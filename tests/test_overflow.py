@@ -26,6 +26,7 @@ from repro.errors import BasketError, BasketOverflowError, ReproError
 from repro.kernel.atoms import Atom
 from repro.kernel.execution.profiler import COUNTER_SHED, Profiler
 from repro.kernel.storage import Schema
+from repro.testing import wait_until
 
 SCHEMA = Schema.of(("x", Atom.INT))
 
@@ -202,6 +203,49 @@ class TestBlock:
     def test_negative_timeout_rejected(self):
         with pytest.raises(ReproError):
             Block(timeout=-1)
+
+    def test_two_producers_wake_in_room_order(self):
+        """Partial room wakes only the producer whose batch fits.
+
+        `delete_head` uses `notify_all`, so both parked producers recheck
+        the room; the admit loop must put back to sleep the one whose
+        batch still does not fit (no partial append, no lost wake-up).
+        Sequenced on observable basket state via ``wait_until`` — no
+        timing assumptions.
+        """
+        basket = make_basket(capacity=3, overflow=Block(timeout=10.0))
+        basket.append_rows(rows(1, 2, 3))
+        big_done = threading.Event()
+        small_done = threading.Event()
+
+        def big_producer():
+            basket.append_rows(rows(7, 8))  # needs room 2
+            big_done.set()
+
+        def small_producer():
+            basket.append_rows(rows(9))  # needs room 1
+            small_done.set()
+
+        big = threading.Thread(target=big_producer, daemon=True)
+        big.start()
+        assert wait_until(lambda: basket.block_waits == 1)
+        small = threading.Thread(target=small_producer, daemon=True)
+        small.start()
+        assert wait_until(lambda: basket.block_waits == 2)
+        assert not big_done.is_set() and not small_done.is_set()
+
+        basket.delete_head(1)  # room 1: only the small batch fits
+        assert small_done.wait(5.0)
+        assert not big_done.is_set()  # woken, rechecked, parked again
+        assert basket.column("x").to_list() == [2, 3, 9]
+
+        basket.delete_head(2)  # room 2: now the big batch admits
+        assert big_done.wait(5.0)
+        big.join(5.0)
+        small.join(5.0)
+        assert basket.column("x").to_list() == [9, 7, 8]
+        assert basket.block_waits == 2
+        assert basket.block_timeouts == 0
 
 
 class TestProfilerSurface:

@@ -89,3 +89,47 @@ class TestReevalFactory:
         engine.run_until_idle()
         rows = [batch.rows()[0][0] for batch in query.results()]
         assert rows == [sum(range(10)), sum(range(10, 20)), sum(range(20, 30))]
+
+
+class TestEmittedBatchStability:
+    """Emitted batches must stay valid after later windows are consumed.
+
+    A pass-through projection used to return zero-copy views into the
+    factory's window buffer; the next step's trim() compacted that buffer
+    in place, silently rewriting batches already handed to the emitter
+    (found by the differential fuzzer).
+    """
+
+    def test_pass_through_columns_survive_later_slides(self, engine):
+        query = engine.submit(
+            "SELECT x1, x2 FROM s [RANGE 8 SLIDE 4]", mode="reeval"
+        )
+        rng = np.random.default_rng(7)
+        x1 = rng.integers(0, 5, 40)
+        x2 = rng.integers(0, 6, 40)
+        engine.feed("s", columns={"x1": x1, "x2": x2})
+        engine.run_until_idle()
+        batches = query.results()
+        assert len(batches) == 9
+        for k, batch in enumerate(batches):
+            lo = k * 4
+            expected = list(zip(x1[lo : lo + 8].tolist(), x2[lo : lo + 8].tolist()))
+            assert batch.rows() == expected
+
+    def test_mixed_computed_and_plain_columns(self, engine):
+        query = engine.submit(
+            "SELECT x1, x2 * 2 AS h FROM s [RANGE 8 SLIDE 4]", mode="reeval"
+        )
+        x1 = np.arange(16, dtype=np.int64)
+        x2 = np.arange(16, dtype=np.int64) % 3
+        engine.feed("s", columns={"x1": x1, "x2": x2})
+        engine.run_until_idle()
+        batches = query.results()
+        assert len(batches) == 3
+        for k, batch in enumerate(batches):
+            lo = k * 4
+            expected = [
+                (int(a), int(b) * 2)
+                for a, b in zip(x1[lo : lo + 8], x2[lo : lo + 8])
+            ]
+            assert batch.rows() == expected
