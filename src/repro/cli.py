@@ -16,6 +16,9 @@ Commands (case-insensitive keywords; one per line)::
     EXPLAIN <select ...>                   show the optimized logical plan
     EXPLAIN CONTINUOUS <select ...>        show the incremental programs
     STATS                                  overload counters + factory stats
+    TOP                                    live-style per-factory table
+    TRACE [n]                              dump the last n firing spans
+    METRICS [PROM|JSON]                    export the metrics snapshot
     <select ...>                           one-time query over tables
     QUERIES / STREAMS / HELP / QUIT
 
@@ -37,6 +40,17 @@ counters and per-factory profiler snapshots.
 verifies rewritten plans (see :mod:`repro.analysis.lint`), and
 ``python -m repro fuzz [...]`` runs the differential fuzzing harness
 (see :mod:`repro.testing.fuzz`).
+
+Observability subcommands (docs/OPERATIONS.md §6)::
+
+    python -m repro top [--once | --interval S --count N] [script...]
+    python -m repro trace [--last N] [script...]
+
+Both replay the given console scripts into a fresh engine first, then
+render the observability views: ``top`` the per-factory table (repeating
+every ``--interval`` seconds until ``--count`` frames, or a single frame
+with ``--once``/when scripts are given), ``trace`` the recent firing
+spans.
 """
 
 from __future__ import annotations
@@ -143,6 +157,27 @@ class Console:
             return
         if upper == "STATS":
             self._stats()
+            return
+        if upper == "TOP":
+            from repro.obs.console import render_top
+
+            self.println(render_top(self.engine))
+            return
+        if upper == "TRACE" or upper.startswith("TRACE "):
+            from repro.obs.console import render_trace
+
+            rest = line[len("TRACE"):].strip()
+            last = int(rest) if rest else 10
+            self.println(render_trace(self.engine, last=last))
+            return
+        if upper == "METRICS" or upper.startswith("METRICS "):
+            rest = line[len("METRICS"):].strip().upper()
+            if rest in ("", "PROM", "PROMETHEUS"):
+                self.println(self.engine.metrics(format="prometheus"))
+            elif rest == "JSON":
+                self.println(self.engine.metrics(format="json"))
+            else:
+                raise ReproError(f"METRICS takes PROM or JSON, got {rest!r}")
             return
         if upper.startswith("CREATE STREAM "):
             name, columns = _parse_schema(line[len("CREATE STREAM "):])
@@ -256,11 +291,15 @@ class Console:
         if factories:
             self.println("-- factories")
             for name, snapshot in factories.items():
-                counters = " ".join(
-                    f"{key}={value:g}" if isinstance(value, float) else f"{key}={value}"
-                    for key, value in sorted(snapshot.items())
+                parts = [
+                    f"{key}={value}"
+                    for key, value in sorted(snapshot["counters"].items())
+                ]
+                parts.extend(
+                    f"{tag}={seconds:g}s"
+                    for tag, seconds in sorted(snapshot["tags"].items())
                 )
-                self.println(f"{name}: {counters or '(no firings yet)'}")
+                self.println(f"{name}: {' '.join(parts) or '(no firings yet)'}")
 
     def _print_columns(self, result: dict[str, list]) -> None:
         names = list(result)
@@ -269,6 +308,78 @@ class Console:
             self.println(" | ".join(str(v) for v in row))
         if names:
             self.println(f"({len(result[names[0]])} row(s))")
+
+
+def _run_obs_cli(command: str, argv: list[str]) -> int:
+    """``python -m repro top`` / ``python -m repro trace``.
+
+    Replays the given console scripts into a fresh engine, then renders
+    the requested observability view.  ``top`` renders one frame per
+    ``--interval`` seconds for ``--count`` frames (``--once`` = one
+    frame; giving scripts also defaults to a single frame, since a
+    replayed engine is static).  ``trace`` prints the last ``--last N``
+    firing spans.
+    """
+    import time as _time
+
+    from repro.obs.console import render_top, render_trace
+
+    once = False
+    interval = 2.0
+    count: Optional[int] = None
+    last = 10
+    scripts: list[str] = []
+    try:
+        index = 0
+        while index < len(argv):
+            arg = argv[index]
+            name, __, inline = arg.partition("=")
+            if name == "--once":
+                once = True
+            elif name in ("--interval", "--count", "--last"):
+                if inline:
+                    value = inline
+                else:
+                    index += 1
+                    if index >= len(argv):
+                        raise ValueError(f"{name} needs a value")
+                    value = argv[index]
+                if name == "--interval":
+                    interval = float(value)
+                    if interval <= 0:
+                        raise ValueError("--interval must be positive")
+                elif name == "--count":
+                    count = int(value)
+                    if count < 1:
+                        raise ValueError("--count must be >= 1")
+                else:
+                    last = int(value)
+                    if last < 1:
+                        raise ValueError("--last must be >= 1")
+            elif name.startswith("--"):
+                raise ValueError(f"unknown flag {name!r}")
+            else:
+                scripts.append(arg)
+            index += 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    console = Console()
+    for path in scripts:
+        with open(path) as script:
+            console.run(script)
+    if command == "trace":
+        print(render_trace(console.engine, last=last))
+        return 0
+    frames = 1 if (once or (count is None and scripts)) else (count or 1)
+    try:
+        for frame in range(frames):
+            if frame:
+                _time.sleep(interval)
+            print(render_top(console.engine))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -286,6 +397,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.testing.fuzz.runner import run_fuzz_cli
 
         return run_fuzz_cli(argv[1:])
+    if argv and argv[0] in ("top", "trace"):
+        return _run_obs_cli(argv[0], argv[1:])
     workers = 1
     capacity: Optional[int] = None
     overflow = None

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
@@ -110,7 +111,14 @@ class Basket:
             else None
         )
         self._not_full = threading.Condition(self._lock)
+        self._abort_reason: Optional[str] = None
         self._profiler: Optional[Profiler] = None
+        # Ingest→emit latency tracking (observability): per-batch arrival
+        # stamps as (absolute end offset, perf_counter).  Bounded so a
+        # directly-driven factory that never pops marks stays O(1) memory.
+        self._track_arrivals = False
+        self._arrival_marks: deque[tuple[int, float]] = deque(maxlen=4096)
+        self._consumed_abs = 0
         #: Tuples dropped by the overflow policy (either end), monotonic.
         self.shed_total = 0
         #: Appends that had to wait for room (Block policy), monotonic.
@@ -170,6 +178,53 @@ class Basket:
         with self._lock:
             self._profiler = profiler
 
+    # ------------------------------------------------------------------
+    # arrival stamping (ingest→emit latency, observability layer)
+    # ------------------------------------------------------------------
+    def enable_arrival_tracking(self) -> None:
+        """Stamp each admitted batch's arrival time (perf_counter).
+
+        The scheduler closes the loop after a firing via
+        :meth:`take_consumed_arrival`; with tracking off (the default) the
+        append paths pay a single boolean test.
+        """
+        with self._lock:
+            self._track_arrivals = True
+
+    def _stamp_arrival(self) -> None:
+        """Record the arrival of the batch ending at ``_appended_total``."""
+        if self._track_arrivals:
+            self._arrival_marks.append((self._appended_total, time.perf_counter()))
+
+    def take_consumed_arrival(self) -> Optional[float]:
+        """Arrival stamp (perf_counter) of the newest fully-consumed batch.
+
+        Pops every mark whose batch has been entirely consumed (or
+        evicted) and returns the most recent one — the arrival time of
+        the batch containing the tuple that completed the window.
+        Returns ``None`` when no tracked batch finished since the last
+        call.
+        """
+        with self._lock:
+            wall: Optional[float] = None
+            while self._arrival_marks and self._arrival_marks[0][0] <= self._consumed_abs:
+                wall = self._arrival_marks.popleft()[1]
+            return wall
+
+    def abort_waiters(self, reason: str) -> None:
+        """Wake producers parked on the ``Block`` policy with an error.
+
+        Called when the engine is stopping after a scheduler crash: no
+        consumer will ever free room again, so parked producers would
+        otherwise sleep until their timeout (or forever, with
+        ``Block(timeout=None)``).  Each woken producer raises
+        :class:`~repro.errors.BasketOverflowError` carrying ``reason``;
+        later blocking appends fail fast the same way.
+        """
+        with self._lock:
+            self._abort_reason = reason
+            self._not_full.notify_all()
+
     def overflow_stats(self) -> dict[str, int]:
         """Point-in-time overload numbers for this basket."""
         with self._lock:
@@ -204,6 +259,8 @@ class Basket:
         if admission.evict_oldest:
             for builder in self._builders.values():
                 builder.drop_head(admission.evict_oldest)
+            if self._track_arrivals:
+                self._consumed_abs += admission.evict_oldest
         if admission.shed:
             self.shed_total += admission.shed
             self._count(COUNTER_SHED, admission.shed)
@@ -222,6 +279,12 @@ class Basket:
         self._count(COUNTER_BLOCK_WAITS)
         deadline = None if timeout is None else time.monotonic() + timeout
         while capacity - len(self) < incoming:
+            if self._abort_reason is not None:
+                raise BasketOverflowError(
+                    f"basket {self.name!r}: {self._abort_reason}",
+                    requested=incoming,
+                    room=capacity - len(self),
+                )
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:
                 self.block_timeouts += 1
@@ -277,6 +340,8 @@ class Basket:
                     self._clock += 1
             added += 1
         self._appended_total += added
+        if added:
+            self._stamp_arrival()
         return added
 
     def append_columns(
@@ -322,6 +387,8 @@ class Basket:
                     )
                     self._clock += count
             self._appended_total += count
+            if count:
+                self._stamp_arrival()
             return count
 
     # ------------------------------------------------------------------
@@ -402,5 +469,7 @@ class Basket:
         with self._lock:
             for builder in self._builders.values():
                 builder.drop_head(count)
+            if self._track_arrivals:
+                self._consumed_abs += count
             if self._capacity is not None and count:
                 self._not_full.notify_all()

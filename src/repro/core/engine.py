@@ -52,6 +52,7 @@ from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT
 from repro.kernel.execution.interpreter import Interpreter
 from repro.kernel.storage import Catalog, Schema, Table
+from repro.obs import Observability, collect_metrics, render_json, render_prometheus
 from repro.sql.logical import find_scans, pretty_plan
 from repro.sql.optimizer import optimize
 from repro.sql.physical import compile_full, scan_slot
@@ -141,14 +142,19 @@ class DataCellEngine:
         verify_plans: Optional[bool] = None,
         workers: int = 1,
         fragment_sharing: bool = True,
+        observability: bool = True,
     ) -> None:
         if verify_plans is None:
             flag = os.environ.get("REPRO_VERIFY_PLANS", "")
             verify_plans = flag.strip().lower() in ("1", "true", "yes", "on")
         self.verify_plans = verify_plans
         self.fragment_sharing = fragment_sharing
+        #: Tracing sinks (firing spans, latency histograms, per-opcode
+        #: durations); ``observability=False`` drops them entirely — the
+        #: hot paths then pay a single ``is None`` test (DESIGN.md §11).
+        self.obs: Optional[Observability] = Observability() if observability else None
         self.catalog = Catalog()
-        self.scheduler = Scheduler(workers=workers)
+        self.scheduler = Scheduler(workers=workers, obs=self.obs)
         self.fragment_cache = FragmentCache()
         self._queries: dict[str, ContinuousQuery] = {}
         self._stream_baskets: dict[str, list[Basket]] = {}
@@ -214,6 +220,8 @@ class DataCellEngine:
             overflow=template.clone() if template is not None else None,
         )
         basket.attach_profiler(self.scheduler.profiler)
+        if self.obs is not None:
+            basket.enable_arrival_tracking()
         return basket
 
     def _stream_sheds(self, relation: str) -> bool:
@@ -466,6 +474,27 @@ class DataCellEngine:
                 "block_timeouts": sum(s["block_timeouts"] for s in per),
             }
         return stats
+
+    def metrics(self, format: str = "dict"):
+        """Everything the engine can report, in one snapshot.
+
+        ``format="dict"`` (default) returns the structured snapshot of
+        :func:`repro.obs.collect_metrics` — engine shape, counters
+        (firings, cache hits/misses, overflow, worker errors), per-tag
+        plan seconds, per-factory stats, per-stream basket depths, and —
+        with observability on — ingest→emit latency quantiles, firing
+        durations, per-opcode histograms, and span-ring occupancy.
+        ``format="json"`` and ``format="prometheus"`` return the same
+        snapshot serialized for export (see docs/OPERATIONS.md §6).
+        """
+        snapshot = collect_metrics(self)
+        if format == "dict":
+            return snapshot
+        if format == "json":
+            return render_json(snapshot)
+        if format == "prometheus":
+            return render_prometheus(snapshot, obs=self.obs)
+        raise ReproError(f"unknown metrics format {format!r}")
 
     def start(self, poll_interval: float = 0.001) -> None:
         """Run the scheduler in the background (used with receptors)."""

@@ -98,6 +98,18 @@ class FactoryBase:
     def step(self, profiler: Optional[Profiler] = None) -> Optional[ResultBatch]:
         raise NotImplementedError  # pragma: no cover - interface
 
+    def consumed_total(self) -> int:
+        """Monotonic count of stream tuples this factory has consumed.
+
+        The scheduler differences it around a firing to report tuples
+        consumed per span; the base offset is irrelevant, only deltas.
+        """
+        return 0
+
+    def baskets(self) -> tuple[Basket, ...]:
+        """The input baskets feeding this factory (observability hooks)."""
+        return ()
+
 
 class IncrementalFactory(FactoryBase):
     """Executes an :class:`IncrementalPlan` over baskets.
@@ -153,6 +165,12 @@ class IncrementalFactory(FactoryBase):
     # ------------------------------------------------------------------
     # readiness (Petri-net firing condition)
     # ------------------------------------------------------------------
+    def consumed_total(self) -> int:
+        return sum(self._consumed.values())
+
+    def baskets(self) -> tuple[Basket, ...]:
+        return tuple(self._baskets.values())
+
     def ready(self) -> bool:
         return all(self._stream_ready(alias) for alias in self.plan.stream_aliases)
 
@@ -193,7 +211,7 @@ class IncrementalFactory(FactoryBase):
             self._step_single(profiler)
         batch = self._merge_and_finalize(profiler)
         batch.response_seconds = time.perf_counter() - start
-        batch.breakdown = profiler.snapshot()
+        batch.breakdown = profiler.tags()
         self.window_index += 1
         batch.window_index = self.window_index
         self._initialized = True
@@ -595,7 +613,7 @@ class IncrementalFactory(FactoryBase):
         self._store.add(bw_bundle)
         batch = self._merge_and_finalize(profiler)
         batch.response_seconds = time.perf_counter() - start
-        batch.breakdown = profiler.snapshot()
+        batch.breakdown = profiler.tags()
         self.window_index += 1
         batch.window_index = self.window_index
         return batch

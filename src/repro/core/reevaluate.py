@@ -101,6 +101,7 @@ class ReevalFactory(FactoryBase):
         self._buffers: dict[str, _WindowBuffer] = {}
         self._table_aliases: list[str] = []
         self._slicers: dict[str, _TimeSlicer] = {}
+        self._consumed_total = 0
         for scan in find_scans(planned.plan):
             if not scan.is_stream:
                 if scan.alias not in self._tables:
@@ -124,6 +125,12 @@ class ReevalFactory(FactoryBase):
                 self._slicers[scan.alias] = _TimeSlicer(window.step)
 
     # -- readiness ------------------------------------------------------
+    def consumed_total(self) -> int:
+        return self._consumed_total
+
+    def baskets(self) -> tuple[Basket, ...]:
+        return tuple(self._baskets.values())
+
     def ready(self) -> bool:
         return all(self._stream_ready(alias) for alias in self.windows)
 
@@ -186,7 +193,7 @@ class ReevalFactory(FactoryBase):
             columns=columns,
             window_index=self.window_index,
             response_seconds=time.perf_counter() - start,
-            breakdown=profiler.snapshot(),
+            breakdown=profiler.tags(),
         )
 
     def _ingest(self, alias: str, window: WindowSpec) -> None:
@@ -222,5 +229,6 @@ class ReevalFactory(FactoryBase):
                     basket.head_slice(take, [TS_COLUMN])[TS_COLUMN].tail, copy=True
                 )
             basket.delete_head(take)
+        self._consumed_total += take
         buffer.append(arrays, ts)
         buffer.trim(boundary)

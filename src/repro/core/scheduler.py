@@ -37,9 +37,35 @@ from typing import Callable, Optional
 
 from repro.core.factory import FactoryBase, ResultBatch
 from repro.errors import SchedulerError
-from repro.kernel.execution.profiler import COUNTER_FIRINGS, Profiler
+from repro.kernel.execution.profiler import (
+    COUNTER_FIRINGS,
+    COUNTER_ROWS_EMITTED,
+    COUNTER_TUPLES_CONSUMED,
+    COUNTER_WORKER_ERRORS,
+    Profiler,
+)
+from repro.obs.core import Observability
+from repro.obs.spans import FiringSpan
 
 ResultSink = Callable[[str, ResultBatch], None]
+
+
+def chain_errors(errors: list[BaseException]) -> BaseException:
+    """Link concurrent failures into one raisable chain.
+
+    The first error is primary; every later one is attached at the end of
+    its ``__context__`` chain, so ``raise chain_errors(errors)`` surfaces
+    *all* of them in the traceback ("During handling of the above
+    exception, ...") instead of silently dropping all but the first.
+    """
+    primary = errors[0]
+    for extra in errors[1:]:
+        cursor: BaseException = primary
+        while cursor.__context__ is not None and cursor.__context__ is not extra:
+            cursor = cursor.__context__
+        if cursor.__context__ is None and cursor is not extra:
+            cursor.__context__ = extra
+    return primary
 
 
 @dataclass
@@ -53,6 +79,9 @@ class _Registration:
     firing_lock: threading.Lock = field(default_factory=threading.Lock)
     # Per-factory accumulation of firing profilers (timings + counters).
     profiler: Profiler = field(default_factory=Profiler)
+    # perf_counter at the end of the last firing while the factory stayed
+    # ready (observability only): the next firing's ready-wait baseline.
+    ready_since: Optional[float] = None
 
 
 class Scheduler:
@@ -63,7 +92,12 @@ class Scheduler:
     concurrently on a ``ThreadPoolExecutor`` of N threads.
     """
 
-    def __init__(self, max_steps_per_scan: int = 1_000_000, workers: int = 1) -> None:
+    def __init__(
+        self,
+        max_steps_per_scan: int = 1_000_000,
+        workers: int = 1,
+        obs: Optional[Observability] = None,
+    ) -> None:
         if workers < 1:
             raise SchedulerError(f"workers must be >= 1, got {workers}")
         self._registrations: dict[str, _Registration] = {}
@@ -76,6 +110,9 @@ class Scheduler:
         self._worker_error: Optional[BaseException] = None
         self._ever_started = False
         self.profiler = Profiler()
+        #: Tracing sinks (spans, latency histograms); None = tracing off,
+        #: in which case the firing path pays a single ``is None`` test.
+        self.obs = obs
 
     @property
     def workers(self) -> int:
@@ -100,11 +137,14 @@ class Scheduler:
         with self._lock:
             return list(self._registrations)
 
-    def factory_stats(self) -> dict[str, dict[str, float]]:
-        """Per-factory profiler snapshots (timings by tag + counters).
+    def factory_stats(self) -> dict[str, dict[str, dict]]:
+        """Per-factory structured profiler snapshots.
 
-        Counters include ``firings`` and, when fragment sharing is active,
-        ``fragment_cache_hits`` / ``fragment_cache_misses``.
+        Each value is :meth:`Profiler.snapshot`'s shape: ``{"tags",
+        "opcodes", "calls", "counters"}``.  Counters include ``firings``
+        and, when fragment sharing is active, ``fragment_cache_hits`` /
+        ``fragment_cache_misses``; with observability on they also carry
+        ``tuples_consumed`` / ``rows_emitted``.
         """
         with self._lock:
             registrations = dict(self._registrations)
@@ -120,11 +160,20 @@ class Scheduler:
         Returns the number of firings.  With ``workers > 1`` the firings
         of one scan run concurrently; a factory that is already firing on
         another thread is skipped (its owner will pick the work up).
+
+        Failures: the scan always joins every submitted firing first.
+        When several factories fail concurrently, all of their exceptions
+        are raised as one chain (:func:`chain_errors`) and counted in the
+        ``worker_errors`` profiler counter — one count per failed firing.
         """
         with self._lock:
             registrations = list(self._registrations.values())
         if self._workers == 1 or len(registrations) <= 1:
-            return sum(self._fire(registration) for registration in registrations)
+            try:
+                return sum(self._fire(registration) for registration in registrations)
+            except Exception:
+                self.profiler.count(COUNTER_WORKER_ERRORS)
+                raise
         executor = self._ensure_executor()
         futures = [
             executor.submit(self._fire, registration)
@@ -138,29 +187,94 @@ class Scheduler:
             except Exception as exc:  # join the whole scan before raising
                 errors.append(exc)
         if errors:
-            raise errors[0]
+            # Surface *every* concurrent worker failure: the first error
+            # is primary, the rest ride along on its __context__ chain
+            # (previously only errors[0] survived the scan).
+            self.profiler.count(COUNTER_WORKER_ERRORS, len(errors))
+            raise chain_errors(errors)
         return fired
 
     def _fire(self, registration: _Registration) -> int:
-        """Fire one factory once if it is ready; returns 0 or 1."""
+        """Fire one factory once if it is ready; returns 0 or 1.
+
+        With observability enabled the firing is wrapped in a
+        :class:`~repro.obs.spans.FiringSpan`: factory name, firing seq,
+        tuples consumed/emitted, ready-wait time, and the per-tag cost
+        breakdown, recorded into the span ring.  The ingest→emit latency
+        loop is closed here too: each basket's newest fully-consumed
+        arrival stamp is subtracted from the dispatch time.
+        """
         if not registration.firing_lock.acquire(blocking=False):
             return 0  # already firing on another thread
         try:
             factory = registration.factory
-            if not factory.ready():
-                return 0
-            profiler = Profiler()
-            batch = factory.step(profiler)
-            if batch is None:
-                return 0
-            profiler.count(COUNTER_FIRINGS)
-            registration.steps += 1
-            registration.profiler.merge_from(profiler)
-            self.profiler.merge_from(profiler)
-            self._dispatch(factory.name, registration, batch)
-            return 1
+            obs = self.obs
+            if obs is None:
+                if not factory.ready():
+                    return 0
+                profiler = Profiler()
+                batch = factory.step(profiler)
+                if batch is None:
+                    return 0
+                profiler.count(COUNTER_FIRINGS)
+                registration.steps += 1
+                registration.profiler.merge_from(profiler)
+                self.profiler.merge_from(profiler)
+                self._dispatch(factory.name, registration, batch)
+                return 1
+            return self._fire_traced(registration, obs)
         finally:
             registration.firing_lock.release()
+
+    def _fire_traced(self, registration: _Registration, obs: Observability) -> int:
+        """The observability-enabled twin of the plain firing path."""
+        factory = registration.factory
+        if not factory.ready():
+            registration.ready_since = None
+            return 0
+        start = time.perf_counter()
+        ready_wait = (
+            start - registration.ready_since
+            if registration.ready_since is not None
+            else 0.0
+        )
+        profiler = Profiler()
+        profiler.set_observer(obs.observe_opcode)
+        consumed_before = factory.consumed_total()
+        batch = factory.step(profiler)
+        if batch is None:
+            registration.ready_since = None
+            return 0
+        consumed = factory.consumed_total() - consumed_before
+        profiler.count(COUNTER_FIRINGS)
+        profiler.count(COUNTER_TUPLES_CONSUMED, consumed)
+        profiler.count(COUNTER_ROWS_EMITTED, len(batch))
+        registration.steps += 1
+        registration.profiler.merge_from(profiler)
+        self.profiler.merge_from(profiler)
+        self._dispatch(factory.name, registration, batch)
+        end = time.perf_counter()
+        for basket in factory.baskets():
+            arrival = basket.take_consumed_arrival()
+            if arrival is not None:
+                obs.latency.observe(end - arrival)
+        obs.firing_duration.observe(end - start)
+        obs.spans.record(
+            FiringSpan(
+                factory=factory.name,
+                seq=registration.steps,
+                wall=time.time(),
+                duration=end - start,
+                consumed=consumed,
+                emitted=len(batch),
+                ready_wait=ready_wait,
+                tags=profiler.tags(),
+            )
+        )
+        # Baseline for the next firing's ready-wait: if the factory is
+        # still enabled, the wait it accrues starts now.
+        registration.ready_since = end
+        return 1
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -227,6 +341,12 @@ class Scheduler:
         producers parked on the ``Block`` policy.  A repeated ``stop()``
         after the loop is gone is a no-op (it neither drains again nor
         resurfaces an already-raised worker error).
+
+        On the error path no draining happens — but producers parked on
+        ``Block`` are still woken: every registered factory's baskets get
+        :meth:`~repro.core.basket.Basket.abort_waiters`, so the parked
+        threads raise :class:`~repro.errors.BasketOverflowError` instead
+        of sleeping forever on a scheduler that will never free room.
         """
         joined = False
         if self._thread is not None:
@@ -234,9 +354,21 @@ class Scheduler:
             self._thread.join()
             self._thread = None
             joined = True
-        self._raise_worker_error()
+        try:
+            self._raise_worker_error()
+        except Exception as exc:
+            self._abort_parked(f"scheduler stopped after worker error: {exc!r}")
+            raise
         if drain and (joined or not self._ever_started):
             self.drain()
+
+    def _abort_parked(self, reason: str) -> None:
+        """Wake every producer parked on a registered factory's baskets."""
+        with self._lock:
+            registrations = list(self._registrations.values())
+        for registration in registrations:
+            for basket in registration.factory.baskets():
+                basket.abort_waiters(reason)
 
     def drain(self) -> int:
         """Fire until quiescence so shed/parked accounting is exact.

@@ -45,6 +45,16 @@ class WindowSpec:
         if self.kind in ("sliding", "tumbling"):
             if self.size is None or self.size <= 0:
                 raise UnsupportedQueryError("window size must be positive")
+            if self.step > self.size:
+                # A hopping window with gaps (step > size) skips tuples
+                # between windows; the incremental machinery has no notion
+                # of a tuple that belongs to *no* basic window, so refuse
+                # loudly instead of silently executing altered semantics.
+                raise UnsupportedQueryError(
+                    f"hopping windows with gaps are not supported: step "
+                    f"{self.step} > size {self.size} would skip "
+                    f"{self.step - self.size} tuples between windows"
+                )
             if self.size % self.step != 0:
                 raise UnsupportedQueryError(
                     f"window size {self.size} must be a multiple of the "
@@ -74,9 +84,15 @@ class WindowSpec:
 
     @staticmethod
     def sliding(size: int, step: int) -> "WindowSpec":
-        """Count-based sliding window helper."""
-        kind = "tumbling" if step >= size else "sliding"
-        return WindowSpec(kind, size, step if kind == "sliding" else size, False)
+        """Count-based sliding window helper (tumbling when step == size).
+
+        ``step > size`` describes a hopping window with gaps; this used to
+        be silently coerced to a gapless tumbling window (``step := size``),
+        changing the query's semantics — now it raises like every other
+        unsupported window shape (the ``__post_init__`` validation).
+        """
+        kind = "tumbling" if step == size else "sliding"
+        return WindowSpec(kind, size, step, False)
 
     @staticmethod
     def tumbling(size: int) -> "WindowSpec":
@@ -88,9 +104,5 @@ class WindowSpec:
 
     @staticmethod
     def time_sliding(size_us: int, step_us: int) -> "WindowSpec":
-        if size_us % step_us != 0:
-            raise UnsupportedQueryError(
-                "time window size must be a multiple of the step"
-            )
         kind = "tumbling" if step_us == size_us else "sliding"
         return WindowSpec(kind, size_us, step_us, True)

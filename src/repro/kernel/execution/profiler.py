@@ -33,6 +33,10 @@ COUNTER_INGEST_RETRIES = "ingest_retries"
 COUNTER_INGEST_DROPPED = "ingest_dropped"
 COUNTER_EMIT_RETRIES = "emit_retries"
 COUNTER_DEAD_LETTERS = "dead_letter_batches"
+#: Scheduler/observability counters (see docs/OPERATIONS.md §6).
+COUNTER_WORKER_ERRORS = "worker_errors"
+COUNTER_TUPLES_CONSUMED = "tuples_consumed"
+COUNTER_ROWS_EMITTED = "rows_emitted"
 
 
 @dataclass
@@ -48,12 +52,27 @@ class Profiler:
         # RLock: merge_from(other) locks both sides and snapshot() is
         # callable while the same thread holds the lock.
         self._lock = threading.RLock()
+        # Optional per-observation hook (opcode, seconds): the scheduler
+        # attaches the observability layer's per-opcode histograms here.
+        self._observer = None
+
+    def set_observer(self, observer) -> None:
+        """Attach a ``(opcode, seconds)`` callback invoked on every record.
+
+        Used by the observability layer to feed per-opcode duration
+        histograms; ``None`` (the default) keeps record() allocation-free.
+        """
+        with self._lock:
+            self._observer = observer
 
     def record(self, tag: str, opcode: str, seconds: float) -> None:
         with self._lock:
             self.by_tag[tag] += seconds
             self.by_opcode[opcode] += seconds
             self.calls[opcode] += 1
+            observer = self._observer
+        if observer is not None:
+            observer(opcode, seconds)
 
     def count(self, counter: str, amount: int = 1) -> None:
         """Bump an integer counter (firings, cache hits, ...)."""
@@ -90,12 +109,35 @@ class Profiler:
             for counter, count in counters.items():
                 self.counters[counter] += count
 
-    def snapshot(self) -> dict[str, float]:
-        """Plain-dict copy of the per-tag totals plus the counters.
+    def tags(self) -> dict[str, float]:
+        """Plain-dict copy of the per-tag wall-time totals."""
+        with self._lock:
+            return dict(self.by_tag)
 
-        Counter names never collide with cost tags (``main``/``merge``/
-        ``admin``), so benchmarks can keep reading tags out of the same
-        breakdown dict.
+    def snapshot(self) -> dict[str, dict]:
+        """Structured copy: ``{"tags", "opcodes", "calls", "counters"}``.
+
+        Timings (float seconds) and counters (ints) live in separate
+        sub-dicts, so a counter whose name happens to match a cost tag can
+        never type-pun an int into the float timing view (the old flat
+        snapshot relied on names "never" colliding — see
+        :meth:`snapshot_flat`).
+        """
+        with self._lock:
+            return {
+                "tags": dict(self.by_tag),
+                "opcodes": dict(self.by_opcode),
+                "calls": dict(self.calls),
+                "counters": dict(self.counters),
+            }
+
+    def snapshot_flat(self) -> dict[str, float]:
+        """Deprecated: the pre-structured flat view (tags ∪ counters).
+
+        Kept for benchmarks written against the old shape.  When a
+        counter name collides with a tag the counter wins (the historical
+        ``dict.update`` behaviour) — use :meth:`snapshot` instead, which
+        keeps both.
         """
         with self._lock:
             snap: dict[str, float] = dict(self.by_tag)

@@ -1,0 +1,59 @@
+"""The engine-wide observability hub.
+
+One :class:`Observability` instance per engine owns every tracing sink:
+the firing-span ring, the ingest→emit latency histogram, the firing
+duration histogram, and the per-opcode duration histograms.  The engine
+hands it to the scheduler (spans, latency) and the scheduler attaches its
+opcode observer to each per-firing profiler (per-opcode histograms).
+
+Disabled observability is represented by *absence* — the engine passes
+``None`` down the stack — so the disabled cost on the firing path is a
+single ``is None`` test, not a flag check inside a constructed object.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.obs.hist import LogHistogram
+from repro.obs.spans import SpanRecorder
+
+
+class Observability:
+    """Tracing sinks for one engine: spans + latency/duration histograms."""
+
+    def __init__(self, span_capacity: int = 1024) -> None:
+        #: Ring buffer of recent firing spans (``repro trace``).
+        self.spans = SpanRecorder(span_capacity)
+        #: Ingest→emit latency: basket arrival stamp → result dispatch.
+        self.latency = LogHistogram()
+        #: Wall time of whole firings (ready-check to dispatch).
+        self.firing_duration = LogHistogram()
+        self._lock = threading.Lock()
+        self._opcodes: dict[str, LogHistogram] = {}
+
+    # -- per-opcode histograms ------------------------------------------
+    def observe_opcode(self, opcode: str, seconds: float) -> None:
+        """Record one instruction execution (the profiler's observer hook)."""
+        hist = self._opcodes.get(opcode)
+        if hist is None:
+            with self._lock:
+                hist = self._opcodes.setdefault(opcode, LogHistogram())
+        hist.observe(seconds)
+
+    def opcode_histograms(self) -> dict[str, LogHistogram]:
+        """Point-in-time view of the per-opcode histograms."""
+        with self._lock:
+            return dict(self._opcodes)
+
+    def iter_opcode_snapshots(self) -> Iterator[tuple[str, dict[str, float]]]:
+        for opcode, hist in sorted(self.opcode_histograms().items()):
+            yield opcode, hist.snapshot()
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self.latency.reset()
+        self.firing_duration.reset()
+        with self._lock:
+            self._opcodes.clear()

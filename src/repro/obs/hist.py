@@ -1,0 +1,148 @@
+"""Log-scale duration histograms.
+
+Latencies span six orders of magnitude (a cached fragment lookup is
+microseconds, a blocked ingest can be seconds), so the buckets are fixed
+powers of two: bucket ``i`` holds observations in ``(2^(MIN_EXP+i-1),
+2^(MIN_EXP+i)]`` seconds, covering ~1 µs to ~64 s with 27 buckets plus an
+overflow bucket.  Fixed buckets mean an observation is a ``math.frexp``
+(one float decomposition, no search), a short lock, and two integer
+increments — cheap enough to sit on the firing hot path — and make
+histograms mergeable and directly exportable as a Prometheus cumulative
+``le`` series.
+
+Quantiles are estimated by linear interpolation inside the owning bucket;
+the exact ``min``/``max``/``sum`` are tracked on the side so the tails
+reported by ``repro top`` never exceed an actually observed value.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Exponent of the smallest bucket upper bound: 2**-20 s ≈ 0.95 µs.
+MIN_EXP = -20
+#: Exponent of the largest finite bucket upper bound: 2**6 s = 64 s.
+MAX_EXP = 6
+#: Finite buckets; one extra overflow bucket (+inf) follows.
+BUCKETS = MAX_EXP - MIN_EXP + 1
+
+
+def bucket_index(seconds: float) -> int:
+    """Bucket of an observation (0-based; ``BUCKETS`` = overflow)."""
+    if seconds <= 0.0:
+        return 0
+    exp = math.frexp(seconds)[1]  # seconds in (2**(exp-1), 2**exp]
+    if math.ldexp(1.0, exp - 1) == seconds:  # exact power of two: inclusive ub
+        exp -= 1
+    if exp <= MIN_EXP:
+        return 0
+    if exp > MAX_EXP:
+        return BUCKETS
+    return exp - MIN_EXP
+
+
+def bucket_upper(index: int) -> float:
+    """Inclusive upper bound of bucket ``index`` (+inf for the overflow)."""
+    if index >= BUCKETS:
+        return math.inf
+    return math.ldexp(1.0, MIN_EXP + index)
+
+
+class LogHistogram:
+    """Fixed-bucket log-scale histogram of durations in seconds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (BUCKETS + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bucket_index(seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def merge_from(self, other: "LogHistogram") -> None:
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other.count, other.sum
+            lo, hi = other.min, other.max
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self.count += count
+            self.sum += total
+            self.min = min(self.min, lo)
+            self.max = max(self.max, hi)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0.0 on an empty histogram).
+
+        Linear interpolation inside the owning bucket, clamped to the
+        exact observed ``min``/``max`` so estimates never leave the
+        observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            seen = 0.0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if seen + bucket_count >= rank:
+                    upper = bucket_upper(index)
+                    lower = 0.0 if index == 0 else bucket_upper(index - 1)
+                    if math.isinf(upper):
+                        return self.max
+                    fraction = (rank - seen) / bucket_count
+                    value = lower + fraction * (upper - lower)
+                    return min(max(value, self.min), self.max)
+                seen += bucket_count
+            return self.max  # pragma: no cover - rank <= count always hits
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs (Prometheus ``le``)."""
+        with self._lock:
+            cumulative = 0
+            out = []
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                out.append((bucket_upper(index), cumulative))
+            return out
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary stats: count, sum, min/max, mean, p50/p95/p99."""
+        with self._lock:
+            count, total = self.count, self.sum
+            lo = 0.0 if count == 0 else self.min
+            hi = self.max
+        return {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count if count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (BUCKETS + 1)
+            self.count = 0
+            self.sum = 0.0
+            self.min = math.inf
+            self.max = 0.0

@@ -1,0 +1,221 @@
+"""Metrics assembly and export.
+
+:func:`collect_metrics` folds every observable surface of an engine —
+profiler counters, per-tag plan seconds, per-factory stats, per-stream
+basket/overload stats, the fragment cache, and (when tracing is enabled)
+the latency/duration histograms and span ring — into one plain-dict
+snapshot.  That dict is the single source of truth: ``engine.metrics()``
+returns it, :func:`render_json` serializes it, and
+:func:`render_prometheus` flattens it into Prometheus text exposition
+format (counters as ``_total``, histograms as cumulative ``le`` bucket
+series) for scraping.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.core import Observability
+
+#: Counters every snapshot carries, even before anything happened, so
+#: dashboards and tests can rely on the keys existing.
+BASE_COUNTERS = (
+    "firings",
+    "fragment_cache_hits",
+    "fragment_cache_misses",
+    "overflow_shed",
+    "overflow_block_waits",
+    "overflow_block_timeouts",
+    "ingest_retries",
+    "ingest_dropped",
+    "emit_retries",
+    "dead_letter_batches",
+    "worker_errors",
+    "tuples_consumed",
+    "rows_emitted",
+)
+
+
+def collect_metrics(engine) -> dict:
+    """One structured snapshot of everything the engine can report.
+
+    ``engine`` is a :class:`~repro.core.engine.DataCellEngine` (duck-typed
+    to avoid an import cycle: the engine imports this module).
+    """
+    profile = engine.profiler.snapshot()
+    counters = {name: 0 for name in BASE_COUNTERS}
+    counters.update(profile["counters"])
+
+    factories = {}
+    for name, stats in engine.scheduler.factory_stats().items():
+        factories[name] = {
+            "firings": stats["counters"].get("firings", 0),
+            "counters": stats["counters"],
+            "tags": stats["tags"],
+        }
+
+    obs = engine.obs
+    metrics: dict = {
+        "engine": {
+            "queries": len(engine._queries),
+            "streams": len(engine._stream_baskets),
+            "workers": engine.scheduler.workers,
+            "observability": obs is not None,
+        },
+        "counters": counters,
+        "tags": profile["tags"],
+        "factories": factories,
+        "streams": engine.overload_stats(),
+        "fragment_cache": engine.fragment_cache.stats(),
+    }
+    if obs is not None:
+        metrics["latency"] = obs.latency.snapshot()
+        metrics["firing_duration"] = obs.firing_duration.snapshot()
+        metrics["opcodes"] = {
+            opcode: snap for opcode, snap in obs.iter_opcode_snapshots()
+        }
+        metrics["spans"] = {
+            "recorded": len(obs.spans),
+            "total": obs.spans.total,
+            "capacity": obs.spans.capacity,
+            "dropped": obs.spans.dropped,
+        }
+    return metrics
+
+
+def render_json(metrics: dict, indent: int = 2) -> str:
+    """The metrics snapshot as a JSON document."""
+    return json.dumps(metrics, indent=indent, sort_keys=True, default=str)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(**labels: str) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+class _PromWriter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value: float, **labels: str) -> None:
+        self.lines.append(f"{name}{_labels(**labels)} {_fmt(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _render_histogram(
+    writer: _PromWriter, name: str, help_text: str, hist
+) -> None:
+    writer.header(name, "histogram", help_text)
+    for upper, cumulative in hist.buckets():
+        writer.sample(f"{name}_bucket", cumulative, le=_fmt(upper))
+    writer.sample(f"{name}_sum", hist.sum)
+    writer.sample(f"{name}_count", hist.count)
+
+
+def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> str:
+    """The metrics snapshot in Prometheus text exposition format.
+
+    ``obs`` (optional) supplies raw histogram buckets for the latency and
+    firing-duration series; without it only the counter/gauge families
+    are rendered.
+    """
+    w = _PromWriter()
+
+    w.header("repro_firings_total", "counter", "Factory firings engine-wide.")
+    w.sample("repro_firings_total", metrics["counters"].get("firings", 0))
+
+    counter_help = {
+        "fragment_cache_hits": "Shared fragment-cache hits.",
+        "fragment_cache_misses": "Shared fragment-cache misses.",
+        "overflow_shed": "Tuples shed by bounded baskets.",
+        "overflow_block_waits": "Appends that waited for basket room.",
+        "overflow_block_timeouts": "Blocked appends that timed out.",
+        "ingest_retries": "Receptor append retries after overflow.",
+        "ingest_dropped": "Tuples dropped by background receptors.",
+        "emit_retries": "Emitter delivery retries.",
+        "dead_letter_batches": "Result batches routed to dead letter.",
+        "worker_errors": "Factory firing failures seen by the scheduler.",
+    }
+    for counter, help_text in counter_help.items():
+        name = f"repro_{counter}_total"
+        w.header(name, "counter", help_text)
+        w.sample(name, metrics["counters"].get(counter, 0))
+
+    w.header(
+        "repro_plan_seconds_total",
+        "counter",
+        "Interpreter seconds by cost tag (main/merge/admin).",
+    )
+    for tag, seconds in sorted(metrics["tags"].items()):
+        w.sample("repro_plan_seconds_total", seconds, tag=tag)
+
+    w.header(
+        "repro_factory_firings_total", "counter", "Firings per factory."
+    )
+    for factory, stats in sorted(metrics["factories"].items()):
+        w.sample("repro_factory_firings_total", stats["firings"], factory=factory)
+
+    stream_gauges = (
+        ("parked", "repro_basket_parked", "Tuples parked across a stream's baskets."),
+        ("max_parked", "repro_basket_max_parked", "Worst single-basket occupancy."),
+        ("capacity", "repro_basket_capacity", "Configured capacity (0 = unbounded)."),
+        ("baskets", "repro_stream_baskets", "Baskets bound to the stream."),
+    )
+    for key, name, help_text in stream_gauges:
+        w.header(name, "gauge", help_text)
+        for stream, stats in sorted(metrics["streams"].items()):
+            w.sample(name, stats[key], stream=stream)
+
+    cache = metrics["fragment_cache"]
+    w.header(
+        "repro_fragment_cache_hit_rate",
+        "gauge",
+        "Shared fragment-cache hit rate over its lifetime.",
+    )
+    w.sample("repro_fragment_cache_hit_rate", cache.get("hit_rate", 0.0))
+
+    if obs is not None:
+        _render_histogram(
+            w,
+            "repro_ingest_emit_latency_seconds",
+            "Latency from basket arrival to result dispatch.",
+            obs.latency,
+        )
+        _render_histogram(
+            w,
+            "repro_firing_duration_seconds",
+            "Duration of factory firings.",
+            obs.firing_duration,
+        )
+        spans = metrics.get("spans", {})
+        w.header("repro_spans_recorded", "gauge", "Spans held in the trace ring.")
+        w.sample("repro_spans_recorded", spans.get("recorded", 0))
+        w.header("repro_spans_dropped_total", "counter", "Spans evicted from the ring.")
+        w.sample("repro_spans_dropped_total", spans.get("dropped", 0))
+    return w.text()

@@ -136,7 +136,7 @@ class TestFragmentCache:
         cache.get_or_compute("k", (0, 1), dict, profiler)
         assert profiler.counter("fragment_cache_misses") == 1
         assert profiler.counter("fragment_cache_hits") == 1
-        assert profiler.snapshot()["fragment_cache_hits"] == 1
+        assert profiler.snapshot()["counters"]["fragment_cache_hits"] == 1
 
     @pytest.mark.concurrency
     def test_concurrent_lookups_compute_once(self):

@@ -119,11 +119,15 @@ class _TracingFactory(FactoryBase):
 class _ExplodingFactory(FactoryBase):
     name = "boom"
 
+    def __init__(self, name="boom", message="kernel exploded"):
+        self.name = name
+        self.message = message
+
     def ready(self):
         return True
 
     def step(self, profiler=None):
-        raise RuntimeError("kernel exploded")
+        raise RuntimeError(self.message)
 
 
 class TestFiringLock:
@@ -197,6 +201,63 @@ class TestWorkerExceptions:
             scheduler.run_once()
         scheduler.close()
 
+    def test_concurrent_failures_all_surface_in_chain(self):
+        """Regression: a parallel scan used to raise only ``errors[0]``,
+        silently dropping every other factory's failure.  Both exceptions
+        must now arrive, linked through ``__context__``."""
+        scheduler = Scheduler(workers=2)
+        scheduler.register(_ExplodingFactory("boom-a", "failure alpha"))
+        scheduler.register(_ExplodingFactory("boom-b", "failure beta"))
+        with pytest.raises(RuntimeError) as excinfo:
+            scheduler.run_once()
+        scheduler.close()
+        messages = set()
+        error = excinfo.value
+        while error is not None:
+            messages.add(str(error))
+            error = error.__context__
+        assert messages == {"failure alpha", "failure beta"}
+        assert scheduler.profiler.counter("worker_errors") == 2
+
+    def test_sequential_failure_counts_worker_error(self):
+        scheduler = Scheduler(workers=1)
+        scheduler.register(_ExplodingFactory())
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            scheduler.run_once()
+        assert scheduler.profiler.counter("worker_errors") == 1
+
+
+class TestProfilerSnapshot:
+    """Regression: snapshot() used to flatten tags ∪ counters into one
+    dict, type-punning int counters into the float timing view (and
+    letting a counter silently shadow a tag of the same name)."""
+
+    def test_structured_snapshot_separates_kinds(self):
+        profiler = Profiler()
+        profiler.record("main", "algebra.select", 0.25)
+        profiler.count("firings", 3)
+        snap = profiler.snapshot()
+        assert snap["tags"] == {"main": 0.25}
+        assert snap["counters"] == {"firings": 3}
+        assert snap["opcodes"] == {"algebra.select": 0.25}
+        assert snap["calls"] == {"algebra.select": 1}
+
+    def test_name_collision_keeps_both_values(self):
+        profiler = Profiler()
+        profiler.record("main", "op", 0.5)       # tag "main": 0.5 s
+        profiler.count("main", 7)                # counter "main": 7
+        snap = profiler.snapshot()
+        assert snap["tags"]["main"] == 0.5
+        assert snap["counters"]["main"] == 7
+        # the deprecated flat view documents its lossy collision rule
+        assert profiler.snapshot_flat()["main"] == 7
+
+    def test_flat_view_matches_old_shape(self):
+        profiler = Profiler()
+        profiler.record("merge", "op", 0.125)
+        profiler.count("firings")
+        assert profiler.snapshot_flat() == {"merge": 0.125, "firings": 1}
+
 
 class TestSchedulerStats:
     def test_factory_stats_counters(self):
@@ -206,10 +267,10 @@ class TestSchedulerStats:
         engine.feed("s", columns=_columns(100, 3))
         engine.run_until_idle()
         stats = engine.scheduler.factory_stats()
-        assert stats["q1"]["firings"] == 4
-        assert stats["q2"]["firings"] == 4
+        assert stats["q1"]["counters"]["firings"] == 4
+        assert stats["q2"]["counters"]["firings"] == 4
         # q2 reuses every basic window q1 computed.
-        assert stats["q2"].get("fragment_cache_hits", 0) == 5
+        assert stats["q2"]["counters"].get("fragment_cache_hits", 0) == 5
         assert engine.scheduler.profiler.counter("firings") == 8
 
 

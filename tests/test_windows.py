@@ -59,3 +59,40 @@ class TestWindowSpec:
     def test_time_helper_checks_divisibility(self):
         with pytest.raises(UnsupportedQueryError):
             WindowSpec.time_sliding(10, 3)
+
+
+class TestHoppingWindowsWithGaps:
+    """Regression: ``step > size`` used to be silently coerced to a
+    tumbling window (``step := size``), quietly changing the query's
+    semantics — every constructor path must refuse instead."""
+
+    def test_sliding_helper_raises_instead_of_coercing(self):
+        with pytest.raises(UnsupportedQueryError, match="gaps"):
+            WindowSpec.sliding(10, 20)
+
+    def test_direct_construction_raises(self):
+        with pytest.raises(UnsupportedQueryError, match="step 20 > size 10"):
+            WindowSpec("sliding", 10, 20)
+        with pytest.raises(UnsupportedQueryError, match="gaps"):
+            WindowSpec("tumbling", 10, 20)
+
+    def test_time_sliding_helper_raises(self):
+        with pytest.raises(UnsupportedQueryError, match="gaps"):
+            WindowSpec.time_sliding(1_000_000, 2_000_000)
+
+    def test_from_clause_raises(self):
+        clause = WindowClause("sliding", 10, 20, False)
+        with pytest.raises(UnsupportedQueryError, match="gaps"):
+            WindowSpec.from_clause(clause)
+
+    @pytest.mark.parametrize("mode", ["incremental", "reeval"])
+    def test_sql_submit_path_raises(self, mode):
+        """`RANGE 10 SLIDE 20` parses, but submit must refuse it for both
+        execution strategies (previously the binder-level coercion meant
+        it silently ran as RANGE 10 SLIDE 10)."""
+        from repro import DataCellEngine
+
+        engine = DataCellEngine()
+        engine.create_stream("s", [("x1", "int")])
+        with pytest.raises(UnsupportedQueryError, match="gaps"):
+            engine.submit("SELECT count(*) FROM s [RANGE 10 SLIDE 20]", mode=mode)
