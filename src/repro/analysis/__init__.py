@@ -13,9 +13,16 @@ rewriter's :class:`~repro.core.rewriter.incremental.IncrementalPlan`:
   bundles, AVG expansion, cost tags);
 * :mod:`repro.analysis.pretty` — typed human-readable plan dumps;
 * :mod:`repro.analysis.lint` — the ``repro lint`` driver that verifies
-  real queries from ``examples/`` and ``benchmarks/``.
+  real queries from ``examples/`` and ``benchmarks/``;
+* :mod:`repro.analysis.resources` — abstract interpretation computing
+  worst-case per-factory state bounds (``repro lint --resources``);
+* :mod:`repro.analysis.guards` / :mod:`repro.analysis.concurrency` —
+  the source-level concurrency lint: ``guarded-by`` annotations, the
+  engine lock order, and the static lock-acquisition graph;
+* :mod:`repro.analysis.checker` — the ``repro check`` CLI driver.
 """
 
+from repro.analysis.concurrency import ConcurrencyResult, check_paths, check_sources
 from repro.analysis.dataflow import (
     analyze_dataflow,
     dead_instructions,
@@ -27,23 +34,34 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     Report,
 )
+from repro.analysis.guards import LOCK_ORDER, GuardModel, harvest_file
 from repro.analysis.plan_verifier import check_plan, verify_plan
 from repro.analysis.pretty import dump_plan, dump_program
+from repro.analysis.resources import Bound, ResourceReport, analyze_resources
 from repro.analysis.signatures import SIGNATURES, signature_for
 from repro.analysis.typecheck import infer_types, output_atoms
 
 __all__ = [
+    "LOCK_ORDER",
     "SEV_ERROR",
     "SEV_WARNING",
     "SIGNATURES",
+    "Bound",
+    "ConcurrencyResult",
     "Diagnostic",
+    "GuardModel",
     "Report",
+    "ResourceReport",
     "analyze_dataflow",
+    "analyze_resources",
+    "check_paths",
     "check_plan",
+    "check_sources",
     "dead_instructions",
     "dump_plan",
     "dump_program",
     "eliminate_dead_instructions",
+    "harvest_file",
     "infer_types",
     "output_atoms",
     "signature_for",

@@ -5,12 +5,19 @@ a :class:`Report`.  A diagnostic pinpoints the *program* (fragment, prep,
 combine, ...), the instruction index inside it, and an actionable message;
 severity separates hard contract violations (``error``) from hygiene
 findings like dead slots (``warning``).
+
+Source-level passes (the ``repro check`` concurrency lint) additionally
+anchor findings to a ``file:line`` so editors and CI annotations can jump
+straight to the offending statement, and carry a short ``code`` (e.g.
+``unguarded-read``, ``lock-cycle``) that groups findings of one kind.
+``Report.to_json`` serializes everything for ``--format json`` CI artifact
+upload.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 SEV_ERROR = "error"
 SEV_WARNING = "warning"
@@ -24,10 +31,31 @@ class Diagnostic:
     where: str  # program name ("fragment", "combine", ...) or "plan"
     message: str
     instr: Optional[int] = None  # instruction index inside the program
+    #: Source anchor (``repro check`` findings): path and 1-based line.
+    file: Optional[str] = None
+    line: Optional[int] = None
+    #: Stable finding-kind slug (``unguarded-read``, ``lock-cycle``, ...).
+    code: Optional[str] = None
 
     def render(self) -> str:
         location = self.where if self.instr is None else f"{self.where}[{self.instr}]"
-        return f"{self.severity}: {location}: {self.message}"
+        anchor = ""
+        if self.file is not None:
+            anchor = self.file if self.line is None else f"{self.file}:{self.line}"
+            anchor += ": "
+        tag = f" [{self.code}]" if self.code else ""
+        return f"{anchor}{self.severity}: {location}: {self.message}{tag}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "severity": self.severity,
+            "where": self.where,
+            "message": self.message,
+            "instr": self.instr,
+            "file": self.file,
+            "line": self.line,
+            "code": self.code,
+        }
 
 
 @dataclass
@@ -37,11 +65,31 @@ class Report:
     subject: str = ""
     diagnostics: list[Diagnostic] = field(default_factory=list)
 
-    def error(self, where: str, message: str, instr: Optional[int] = None) -> None:
-        self.diagnostics.append(Diagnostic(SEV_ERROR, where, message, instr))
+    def error(
+        self,
+        where: str,
+        message: str,
+        instr: Optional[int] = None,
+        file: Optional[str] = None,
+        line: Optional[int] = None,
+        code: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(SEV_ERROR, where, message, instr, file, line, code)
+        )
 
-    def warning(self, where: str, message: str, instr: Optional[int] = None) -> None:
-        self.diagnostics.append(Diagnostic(SEV_WARNING, where, message, instr))
+    def warning(
+        self,
+        where: str,
+        message: str,
+        instr: Optional[int] = None,
+        file: Optional[str] = None,
+        line: Optional[int] = None,
+        code: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(SEV_WARNING, where, message, instr, file, line, code)
+        )
 
     def extend(self, other: "Report") -> None:
         self.diagnostics.extend(other.diagnostics)
@@ -65,3 +113,10 @@ class Report:
         if self.subject:
             lines = [f"-- {self.subject}"] + [f"  {line}" for line in lines]
         return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }

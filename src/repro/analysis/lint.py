@@ -80,6 +80,22 @@ def lint_sql(
     return report, dump_plan(plan, schemas)
 
 
+def resource_report_for(engine: DataCellEngine, sql: str, subject: str = "query"):
+    """Rewrite one query and compute its static state bounds.
+
+    Returns a :class:`repro.analysis.resources.ResourceReport`, or None
+    for queries that do not plan or are not rewritable (those already
+    produce their own lint diagnostics).
+    """
+    from repro.analysis.resources import analyze_resources
+
+    try:
+        plan = rewrite(optimize(plan_query(sql, engine.catalog)))
+    except ReproError:
+        return None
+    return analyze_resources(plan, engine._stream_limits, subject=subject)
+
+
 # ----------------------------------------------------------------------
 # AST harvesting of example scripts
 # ----------------------------------------------------------------------
@@ -332,6 +348,13 @@ def run_lint_cli(argv: list[str], out=None) -> int:
         help="print the typed program dump of every verified plan",
     )
     parser.add_argument(
+        "--resources",
+        action="store_true",
+        help="also run the resource-bound analyzer and print per-query "
+        "worst-case state bounds (unbounded landmark state, capacity "
+        "mismatches, join fan-out)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress warnings, print errors only"
     )
     args = parser.parse_args(argv)
@@ -381,6 +404,11 @@ def run_lint_cli(argv: list[str], out=None) -> int:
     failures = 0
     for engine, subject, sql in units:
         report, dump = lint_sql(engine, sql, subject=subject)
+        resources = None
+        if args.resources:
+            resources = resource_report_for(engine, sql, subject=subject)
+            if resources is not None:
+                report.extend(resources.report)
         label = " ".join(sql.split())
         if len(label) > 88:
             label = label[:85] + "..."
@@ -393,6 +421,10 @@ def run_lint_cli(argv: list[str], out=None) -> int:
         shown = report.errors() if args.quiet else report.diagnostics
         for diagnostic in shown:
             print(f"    {diagnostic.render()}", file=out)
+        if resources is not None:
+            print(f"    state bound: {resources.total_state.render()}", file=out)
+            if args.dump:
+                print(resources.render_table(), file=out)
         if args.dump and dump is not None:
             print(dump, file=out)
             print(file=out)

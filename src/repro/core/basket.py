@@ -91,15 +91,16 @@ class Basket:
         self.name = name
         self.schema = schema
         self._lock = threading.RLock()
+        # guarded-by: _lock
         self._builders: dict[str, BATBuilder] = {
             col: BATBuilder(atom) for col, atom in schema.columns
         }
         self._with_ts = with_timestamps
         if with_timestamps:
             self._builders[TS_COLUMN] = BATBuilder(Atom.TIMESTAMP)
-        self._appended_total = 0
-        self._clock = 0  # fallback logical timestamps
-        self._watermark: int | None = None  # explicit time progress
+        self._appended_total = 0  # guarded-by: _lock
+        self._clock = 0  # fallback logical timestamps; guarded-by: _lock
+        self._watermark: int | None = None  # explicit time progress; guarded-by: _lock
         if capacity is not None and capacity < 1:
             raise BasketError(f"capacity must be >= 1, got {capacity}")
         if capacity is None and overflow is not None:
@@ -111,20 +112,20 @@ class Basket:
             else None
         )
         self._not_full = threading.Condition(self._lock)
-        self._abort_reason: Optional[str] = None
-        self._profiler: Optional[Profiler] = None
+        self._abort_reason: Optional[str] = None  # guarded-by: _lock
+        self._profiler: Optional[Profiler] = None  # guarded-by: _lock
         # Ingest→emit latency tracking (observability): per-batch arrival
         # stamps as (absolute end offset, perf_counter).  Bounded so a
         # directly-driven factory that never pops marks stays O(1) memory.
-        self._track_arrivals = False
-        self._arrival_marks: deque[tuple[int, float]] = deque(maxlen=4096)
-        self._consumed_abs = 0
+        self._track_arrivals = False  # guarded-by: _lock
+        self._arrival_marks: deque[tuple[int, float]] = deque(maxlen=4096)  # guarded-by: _lock
+        self._consumed_abs = 0  # guarded-by: _lock
         #: Tuples dropped by the overflow policy (either end), monotonic.
-        self.shed_total = 0
+        self.shed_total = 0  # guarded-by: _lock
         #: Appends that had to wait for room (Block policy), monotonic.
-        self.block_waits = 0
+        self.block_waits = 0  # guarded-by: _lock
         #: Blocked appends that gave up at the timeout, monotonic.
-        self.block_timeouts = 0
+        self.block_timeouts = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # locking
@@ -191,7 +192,7 @@ class Basket:
         with self._lock:
             self._track_arrivals = True
 
-    def _stamp_arrival(self) -> None:
+    def _stamp_arrival(self) -> None:  # guarded-by: self._lock
         """Record the arrival of the batch ending at ``_appended_total``."""
         if self._track_arrivals:
             self._arrival_marks.append((self._appended_total, time.perf_counter()))
@@ -236,11 +237,11 @@ class Basket:
                 "block_timeouts": self.block_timeouts,
             }
 
-    def _count(self, counter: str, amount: int = 1) -> None:
+    def _count(self, counter: str, amount: int = 1) -> None:  # guarded-by: self._lock
         if self._profiler is not None:
             self._profiler.count(counter, amount)
 
-    def _admit(self, incoming: int) -> Keep:
+    def _admit(self, incoming: int) -> Keep:  # guarded-by: self._lock
         """Make room for ``incoming`` tuples; returns the admitted subset.
 
         Called under the basket lock.  A batch that fits is admitted whole;
@@ -266,7 +267,7 @@ class Basket:
             self._count(COUNTER_SHED, admission.shed)
         return admission.keep
 
-    def _wait_for_room(self, incoming: int, timeout: Optional[float]) -> Keep:
+    def _wait_for_room(self, incoming: int, timeout: Optional[float]) -> Keep:  # guarded-by: self._lock
         capacity = self._capacity
         assert capacity is not None
         if incoming > capacity:
@@ -322,7 +323,7 @@ class Basket:
 
     def _append_rows_locked(
         self, rows: Iterable[Sequence], timestamps: Sequence[int] | None
-    ) -> int:
+    ) -> int:  # guarded-by: self._lock
         names = self.schema.names
         added = 0
         for row in rows:

@@ -43,10 +43,10 @@ class CollectingEmitter:
 
     def __init__(self, keep_last: Optional[int] = None) -> None:
         self._lock = threading.Lock()
-        self._batches: list[ResultBatch] = []
+        self._batches: list[ResultBatch] = []  # guarded-by: _lock
         self._keep_last = keep_last
-        self.total_batches = 0
-        self.total_rows = 0
+        self.total_batches = 0  # guarded-by: _lock
+        self.total_rows = 0  # guarded-by: _lock
 
     def __call__(self, factory_name: str, batch: ResultBatch) -> None:
         with self._lock:
@@ -92,8 +92,8 @@ class CsvEmitter:
         self._lock = threading.Lock()
         self._file = open(path, "w")
         self._write_header = write_header
-        self._header_written = False
-        self.rows_written = 0
+        self._header_written = False  # guarded-by: _lock
+        self.rows_written = 0  # guarded-by: _lock
 
     def __call__(self, factory_name: str, batch: ResultBatch) -> None:
         with self._lock:
@@ -151,9 +151,9 @@ class RetryingEmitter:
         )
         self._profiler = profiler
         self._lock = threading.Lock()
-        self.retries = 0
-        self.dead_lettered = 0
-        self.last_error: Optional[BaseException] = None
+        self.retries = 0  # guarded-by: _lock
+        self.dead_lettered = 0  # guarded-by: _lock
+        self.last_error: Optional[BaseException] = None  # guarded-by: _lock
 
     def __call__(self, factory_name: str, batch: ResultBatch) -> None:
         delay = self.backoff

@@ -97,6 +97,10 @@ class ContinuousQuery:
     factory: FactoryBase
     emitter: CollectingEmitter
     baskets: dict[str, Basket] = field(default_factory=dict)  # alias -> basket
+    #: Static worst-case state bounds (incremental mode only): a
+    #: :class:`repro.analysis.resources.ResourceReport` computed at
+    #: submit time, or None for reeval queries.
+    resources: Optional[object] = None
 
     def results(self) -> list[ResultBatch]:
         """All result batches produced so far."""
@@ -273,8 +277,24 @@ class DataCellEngine:
                 tables[scan.alias] = self.catalog.table(scan.relation)
 
         factory: FactoryBase
+        resources = None
         if mode == "incremental":
             plan = rewrite(planned)
+            # Static resource bounds (repro.analysis.resources): always
+            # computed — it is one abstract-interpretation pass — and
+            # attached to the handle; hard findings (a capacity that can
+            # never admit a full basic window) raise only in verify mode
+            # so production submits keep their warn-at-runtime behaviour.
+            from repro.analysis.resources import analyze_resources
+
+            resources = analyze_resources(
+                plan, self._stream_limits, subject=query_name
+            )
+            if self.verify_plans and not resources.ok:
+                raise ReproError(
+                    "plan resource analysis failed:\n"
+                    + resources.report.render(include_warnings=False)
+                )
             if self.verify_plans:
                 # Imported lazily: repro.analysis depends on this module.
                 from repro.analysis.plan_verifier import check_plan
@@ -305,7 +325,9 @@ class DataCellEngine:
 
         emitter = CollectingEmitter()
         self.scheduler.register(factory, emitter)
-        handle = ContinuousQuery(query_name, sql, mode, factory, emitter, baskets)
+        handle = ContinuousQuery(
+            query_name, sql, mode, factory, emitter, baskets, resources
+        )
         self._queries[query_name] = handle
         return handle
 

@@ -192,9 +192,9 @@ class FragmentCache:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._groups: dict[ShareKey, _FragmentGroup] = {}
-        self.hits = 0
-        self.misses = 0
+        self._groups: dict[ShareKey, _FragmentGroup] = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def register(self, key: ShareKey, capacity: int) -> None:
         """Declare interest in a share key, widening its ring if needed."""
@@ -245,8 +245,7 @@ class FragmentCache:
                 profiler.count(COUNTER_CACHE_MISSES)
             return bundle
 
-    def _hit(self, span: Span, bundle: Bundle, profiler: Optional[Profiler]) -> Bundle:
-        # Called under self._lock.
+    def _hit(self, span: Span, bundle: Bundle, profiler: Optional[Profiler]) -> Bundle:  # guarded-by: self._lock
         self.hits += 1
         if profiler is not None:
             profiler.count(COUNTER_CACHE_HITS)

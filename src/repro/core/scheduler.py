@@ -72,7 +72,7 @@ def chain_errors(errors: list[BaseException]) -> BaseException:
 class _Registration:
     factory: FactoryBase
     sinks: list[ResultSink] = field(default_factory=list)
-    steps: int = 0
+    steps: int = 0  # guarded-by: firing_lock
     # Held around ready()+step()+dispatch so a factory never fires twice
     # concurrently — not from two pool workers, and not from a test thread
     # calling run_once() while the background loop is scanning.
@@ -81,7 +81,7 @@ class _Registration:
     profiler: Profiler = field(default_factory=Profiler)
     # perf_counter at the end of the last firing while the factory stayed
     # ready (observability only): the next firing's ready-wait baseline.
-    ready_since: Optional[float] = None
+    ready_since: Optional[float] = None  # guarded-by: firing_lock
 
 
 class Scheduler:
@@ -100,15 +100,15 @@ class Scheduler:
     ) -> None:
         if workers < 1:
             raise SchedulerError(f"workers must be >= 1, got {workers}")
-        self._registrations: dict[str, _Registration] = {}
+        self._registrations: dict[str, _Registration] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
-        self._thread: Optional[threading.Thread] = None
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _lock
         self._stop_event = threading.Event()
         self._max_steps_per_scan = max_steps_per_scan
         self._workers = workers
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._worker_error: Optional[BaseException] = None
-        self._ever_started = False
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
+        self._worker_error: Optional[BaseException] = None  # guarded-by: _lock
+        self._ever_started = False  # guarded-by: _lock
         self.profiler = Profiler()
         #: Tracing sinks (spans, latency histograms); None = tracing off,
         #: in which case the firing path pays a single ``is None`` test.
@@ -226,7 +226,7 @@ class Scheduler:
         finally:
             registration.firing_lock.release()
 
-    def _fire_traced(self, registration: _Registration, obs: Observability) -> int:
+    def _fire_traced(self, registration: _Registration, obs: Observability) -> int:  # guarded-by: registration.firing_lock
         """The observability-enabled twin of the plain firing path."""
         factory = registration.factory
         if not factory.ready():
@@ -306,10 +306,6 @@ class Scheduler:
     # -- background driving ------------------------------------------------
     def start(self, poll_interval: float = 0.001) -> None:
         """Run the scheduler loop in a daemon thread."""
-        if self._thread is not None:
-            raise SchedulerError("scheduler already running")
-        self._ever_started = True
-        self._stop_event.clear()
 
         def loop() -> None:
             while not self._stop_event.is_set():
@@ -322,8 +318,15 @@ class Scheduler:
                 if fired == 0:
                     time.sleep(poll_interval)
 
-        self._thread = threading.Thread(target=loop, name="datacell-scheduler", daemon=True)
-        self._thread.start()
+        thread = threading.Thread(target=loop, name="datacell-scheduler", daemon=True)
+        with self._lock:
+            if self._thread is not None:
+                raise SchedulerError("scheduler already running")
+            self._ever_started = True
+            self._stop_event.clear()
+            self._thread = thread
+        # Outside the lock: the loop's first scan takes _lock itself.
+        thread.start()
 
     def stop(self, drain: bool = True) -> None:
         """Stop the background loop (optionally draining ready work first).
@@ -348,18 +351,22 @@ class Scheduler:
         threads raise :class:`~repro.errors.BasketOverflowError` instead
         of sleeping forever on a scheduler that will never free room.
         """
+        self._stop_event.set()
+        with self._lock:
+            thread, self._thread = self._thread, None
+            ever_started = self._ever_started
+        # Join outside the lock: the loop's scans take _lock themselves,
+        # so joining under it would deadlock.
         joined = False
-        if self._thread is not None:
-            self._stop_event.set()
-            self._thread.join()
-            self._thread = None
+        if thread is not None:
+            thread.join()
             joined = True
         try:
             self._raise_worker_error()
         except Exception as exc:
             self._abort_parked(f"scheduler stopped after worker error: {exc!r}")
             raise
-        if drain and (joined or not self._ever_started):
+        if drain and (joined or not ever_started):
             self.drain()
 
     def _abort_parked(self, reason: str) -> None:

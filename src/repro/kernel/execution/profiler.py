@@ -43,10 +43,10 @@ COUNTER_ROWS_EMITTED = "rows_emitted"
 class Profiler:
     """Accumulates instruction timings by cost tag and opcode."""
 
-    by_tag: dict[str, float] = field(default_factory=lambda: defaultdict(float))
-    by_opcode: dict[str, float] = field(default_factory=lambda: defaultdict(float))
-    calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_tag: dict[str, float] = field(default_factory=lambda: defaultdict(float))  # guarded-by: _lock
+    by_opcode: dict[str, float] = field(default_factory=lambda: defaultdict(float))  # guarded-by: _lock
+    calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))  # guarded-by: _lock
+    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))  # guarded-by: _lock
 
     def __post_init__(self) -> None:
         # RLock: merge_from(other) locks both sides and snapshot() is
@@ -54,7 +54,7 @@ class Profiler:
         self._lock = threading.RLock()
         # Optional per-observation hook (opcode, seconds): the scheduler
         # attaches the observability layer's per-opcode histograms here.
-        self._observer = None
+        self._observer = None  # guarded-by: _lock
 
     def set_observer(self, observer) -> None:
         """Attach a ``(opcode, seconds)`` callback invoked on every record.

@@ -108,6 +108,9 @@ def render_trace(engine, last: int = 10) -> str:
             + (f" [{tags}]" if tags else "")
         )
     shown = len(spans)
-    total = obs.spans.total
-    lines.append(f"({shown} span(s) shown, {total} recorded, {obs.spans.dropped} evicted)")
+    stats = obs.spans.stats()
+    lines.append(
+        f"({shown} span(s) shown, {stats['total']} recorded, "
+        f"{stats['dropped']} evicted)"
+    )
     return "\n".join(lines)

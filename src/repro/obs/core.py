@@ -31,16 +31,14 @@ class Observability:
         #: Wall time of whole firings (ready-check to dispatch).
         self.firing_duration = LogHistogram()
         self._lock = threading.Lock()
-        self._opcodes: dict[str, LogHistogram] = {}
+        self._opcodes: dict[str, LogHistogram] = {}  # guarded-by: _lock
 
     # -- per-opcode histograms ------------------------------------------
     def observe_opcode(self, opcode: str, seconds: float) -> None:
         """Record one instruction execution (the profiler's observer hook)."""
-        hist = self._opcodes.get(opcode)
-        if hist is None:
-            with self._lock:
-                hist = self._opcodes.setdefault(opcode, LogHistogram())
-        hist.observe(seconds)
+        with self._lock:
+            hist = self._opcodes.setdefault(opcode, LogHistogram())
+        hist.observe(seconds)  # after release: LogHistogram locks itself
 
     def opcode_histograms(self) -> dict[str, LogHistogram]:
         """Point-in-time view of the per-opcode histograms."""

@@ -54,11 +54,11 @@ class LogHistogram:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counts = [0] * (BUCKETS + 1)
-        self.count = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = 0.0
+        self._counts = [0] * (BUCKETS + 1)  # guarded-by: _lock
+        self.count = 0  # guarded-by: _lock
+        self.sum = 0.0  # guarded-by: _lock
+        self.min = math.inf  # guarded-by: _lock
+        self.max = 0.0  # guarded-by: _lock
 
     def observe(self, seconds: float) -> None:
         index = bucket_index(seconds)
@@ -114,13 +114,23 @@ class LogHistogram:
 
     def buckets(self) -> list[tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs (Prometheus ``le``)."""
+        return self.export()[0]
+
+    def export(self) -> tuple[list[tuple[float, int]], float, int]:
+        """Atomic ``(cumulative buckets, sum, count)`` for exporters.
+
+        A Prometheus histogram must satisfy ``le="+Inf" == count``;
+        reading :meth:`buckets` and ``sum``/``count`` under separate lock
+        acquisitions can tear against a concurrent :meth:`observe`, so
+        exporters take all three from one locked read.
+        """
         with self._lock:
             cumulative = 0
             out = []
             for index, bucket_count in enumerate(self._counts):
                 cumulative += bucket_count
                 out.append((bucket_upper(index), cumulative))
-            return out
+            return out, self.sum, self.count
 
     def snapshot(self) -> dict[str, float]:
         """Summary stats: count, sum, min/max, mean, p50/p95/p99."""

@@ -77,12 +77,9 @@ def collect_metrics(engine) -> dict:
         metrics["opcodes"] = {
             opcode: snap for opcode, snap in obs.iter_opcode_snapshots()
         }
-        metrics["spans"] = {
-            "recorded": len(obs.spans),
-            "total": obs.spans.total,
-            "capacity": obs.spans.capacity,
-            "dropped": obs.spans.dropped,
-        }
+        # One locked read: the separate len()/total/dropped properties
+        # can tear against a concurrent record() mid-snapshot.
+        metrics["spans"] = obs.spans.stats()
     return metrics
 
 
@@ -132,10 +129,13 @@ def _render_histogram(
     writer: _PromWriter, name: str, help_text: str, hist
 ) -> None:
     writer.header(name, "histogram", help_text)
-    for upper, cumulative in hist.buckets():
+    # Atomic read: Prometheus requires le="+Inf" == _count, which only
+    # holds if buckets, sum, and count come from the same locked view.
+    buckets, total, count = hist.export()
+    for upper, cumulative in buckets:
         writer.sample(f"{name}_bucket", cumulative, le=_fmt(upper))
-    writer.sample(f"{name}_sum", hist.sum)
-    writer.sample(f"{name}_count", hist.count)
+    writer.sample(f"{name}_sum", total)
+    writer.sample(f"{name}_count", count)
 
 
 def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> str:

@@ -52,9 +52,9 @@ class SpanRecorder:
             raise ValueError(f"span capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._ring: list[FiringSpan | None] = [None] * capacity
-        self._next = 0  # total spans ever recorded
-        self.dropped = 0
+        self._ring: list[FiringSpan | None] = [None] * capacity  # guarded-by: _lock
+        self._next = 0  # total spans ever recorded; guarded-by: _lock
+        self.dropped = 0  # guarded-by: _lock
 
     def record(self, span: FiringSpan) -> None:
         with self._lock:
@@ -72,6 +72,21 @@ class SpanRecorder:
         """Spans ever recorded (including those the ring overwrote)."""
         with self._lock:
             return self._next
+
+    def stats(self) -> dict[str, int]:
+        """Atomic snapshot of the ring counters.
+
+        One lock acquisition, so ``recorded``/``total``/``dropped`` are
+        mutually consistent — reading them as separate properties can
+        tear against a concurrent :meth:`record`.
+        """
+        with self._lock:
+            return {
+                "recorded": min(self._next, self.capacity),
+                "total": self._next,
+                "capacity": self.capacity,
+                "dropped": self.dropped,
+            }
 
     def last(self, n: int | None = None) -> list[FiringSpan]:
         """The most recent ``n`` spans, oldest first (all retained if None)."""

@@ -149,7 +149,8 @@ class PlanCompiler:
             return rows.cand
         if rows._oids is None:
             any_slot = next(iter(rows.col_slots.values()))
-            rows._oids = self.emit("bat.mirror", [Ref(any_slot)], "oids")
+            # Single-threaded compile-time memo on a compiler-owned helper.
+            rows._oids = self.emit("bat.mirror", [Ref(any_slot)], "oids")  # repro-check: allow(foreign-private-write)
         return rows._oids
 
     def column(self, rows: Rows, ref: ColumnRef) -> str:

@@ -14,9 +14,12 @@ window is compared across them:
 * ``incremental-chunked`` — the same plan driven through
   ``step_chunked(m)`` (single-stream count-based sliding only).
 
-Configurable axes (workers, fragment sharing, feed chunking) shake the
-concurrency and caching layers with the *same* query; results must be
-invariant.  Window rows are compared as multisets with float tolerance;
+Configurable axes (workers, fragment sharing, feed chunking, lockcheck)
+shake the concurrency and caching layers with the *same* query; results
+must be invariant.  The ``lockcheck`` axis additionally runs the engine
+under :mod:`repro.testing.lockcheck` wrappers and reports a
+``lockorder`` divergence when the observed acquisition order escapes
+the static lock-order graph.  Window rows are compared as multisets with float tolerance;
 when the query has ORDER BY, each engine's emission order is additionally
 checked for sortedness (ties stay unconstrained — LIMIT is never
 generated).
@@ -51,6 +54,7 @@ class OracleConfig:
     chunk_plan: Optional[dict[str, list[int]]] = None  # feed batch sizes
     step_chunk: Optional[int] = None  # m for step_chunked (chunk_ok only)
     float_tol: float = 1e-6
+    lockcheck: bool = False  # run under ObservedLock, assert lock order
 
     def to_json(self) -> dict:
         return {
@@ -60,6 +64,7 @@ class OracleConfig:
             "chunk_plan": self.chunk_plan,
             "step_chunk": self.step_chunk,
             "float_tol": self.float_tol,
+            "lockcheck": self.lockcheck,
         }
 
     @staticmethod
@@ -71,6 +76,7 @@ class OracleConfig:
             chunk_plan=data.get("chunk_plan"),
             step_chunk=data.get("step_chunk"),
             float_tol=data.get("float_tol", 1e-6),
+            lockcheck=data.get("lockcheck", False),
         )
 
     def describe(self) -> str:
@@ -81,6 +87,8 @@ class OracleConfig:
             parts.append(f"m={self.step_chunk}")
         if self.chunk_plan:
             parts.append("chunked-feed")
+        if self.lockcheck:
+            parts.append("lockcheck")
         return " ".join(parts)
 
 
@@ -88,7 +96,7 @@ class OracleConfig:
 class Divergence:
     """One observed disagreement between two oracle legs."""
 
-    kind: str  # "window-count" | "rows" | "order" | "error" | "lint"
+    kind: str  # "window-count" | "rows" | "order" | "error" | "lint" | "lockorder"
     left: str
     right: str
     window: Optional[int]
@@ -241,6 +249,15 @@ def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResu
         if config.step_chunk and query.chunk_ok:
             chunked = engine.submit(query.sql, name="qc")
 
+        lock_observer = None
+        if config.lockcheck:
+            # After every submit, before any feeding: swap the engine's
+            # locks for recording wrappers (the dynamic oracle for the
+            # static lock-order graph).
+            from repro.testing.lockcheck import instrument
+
+            lock_observer = instrument(engine)
+
         def fire() -> None:
             if chunked is not None:
                 while True:
@@ -268,6 +285,20 @@ def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResu
         engine.close()
     if sysx_query is not None:
         windows["systemx"] = [list(rows) for rows in sysx_query.results]
+
+    if lock_observer is not None:
+        divergences = lock_observer.violations()
+        if divergences:
+            return OracleResult(
+                Divergence(
+                    "lockorder",
+                    "dynamic",
+                    "static",
+                    None,
+                    "; ".join(divergences),
+                ),
+                windows,
+            )
 
     return OracleResult(compare_windows(windows, reference, config), windows)
 

@@ -11,7 +11,9 @@ two integers printed in the banner.  Each iteration:
 2. lints the rewritten plan (:mod:`repro.analysis.lint`) — the fuzzer
    doubles as a free corpus for the static verifier;
 3. runs the four-way oracle under randomly drawn execution axes
-   (workers, fragment sharing, feed chunking, ``step_chunked``);
+   (workers, fragment sharing, feed chunking, ``step_chunked``, and a
+   ``lockcheck`` axis that replays observed lock acquisitions against
+   the static lock order — always on under ``--lockcheck``);
 4. checks one metamorphic relation (rotating through
    :data:`~repro.testing.fuzz.metamorphic.RELATIONS`).
 
@@ -59,6 +61,7 @@ class FuzzSession:
         metamorphic: bool = True,
         lint: bool = True,
         vary_axes: bool = True,
+        lockcheck: bool = False,
         max_failures: int = 5,
         shrink_runs: int = 60,
         out: Optional[TextIO] = None,
@@ -70,6 +73,7 @@ class FuzzSession:
         self.metamorphic = metamorphic
         self.lint = lint
         self.vary_axes = vary_axes
+        self.lockcheck = lockcheck
         self.max_failures = max_failures
         self.shrink_runs = shrink_runs
         self.out = out if out is not None else sys.stdout
@@ -144,7 +148,9 @@ class FuzzSession:
 
     def _config(self, rng, query, feed) -> OracleConfig:
         if not self.vary_axes:
-            return OracleConfig()
+            return OracleConfig(lockcheck=self.lockcheck)
+        # New axes draw *after* the existing ones so historical
+        # (seed, iteration) pairs keep reproducing the same config.
         return OracleConfig(
             workers=3 if rng.random() < 0.20 else 1,
             fragment_sharing=bool(rng.random() < 0.75),
@@ -159,6 +165,7 @@ class FuzzSession:
                 if query.chunk_ok and rng.random() < 0.35
                 else None
             ),
+            lockcheck=self.lockcheck or bool(rng.random() < 0.25),
         )
 
     # ------------------------------------------------------------------
@@ -297,6 +304,10 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
     parser.add_argument("--fixed-axes", action="store_true",
                         help="run every query under the default axes "
                         "(workers=1, sharing on, unchunked)")
+    parser.add_argument("--lockcheck", action="store_true",
+                        help="run every oracle execution under ObservedLock "
+                        "wrappers and fail on static/dynamic lock-order "
+                        "divergence (otherwise drawn as a random axis)")
     parser.add_argument("--replay", metavar="FILE", default=None,
                         help="re-execute a .repro.json reproducer and exit")
     args = parser.parse_args(argv)
@@ -324,6 +335,7 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
         metamorphic=not args.no_metamorphic,
         lint=not args.no_lint,
         vary_axes=not args.fixed_axes,
+        lockcheck=args.lockcheck,
         max_failures=args.max_failures,
         shrink_runs=args.shrink_runs,
         out=out,

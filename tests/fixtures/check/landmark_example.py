@@ -1,0 +1,13 @@
+"""Injected-bug fixture: a landmark query whose state grows forever.
+
+A select-only landmark window retains every basic window's rows (the
+combine program concatenates, it cannot compact), so ``repro lint
+--resources`` must report an unbounded state bound with the
+``unbounded-landmark`` diagnostic.  Not executed; harvested statically.
+"""
+
+from repro.core.engine import DataCellEngine
+
+engine = DataCellEngine()
+engine.create_stream("clicks", [("user", "int"), ("page", "int")])
+engine.submit("SELECT user, page FROM clicks [LANDMARK SLIDE 64] WHERE page > 10")

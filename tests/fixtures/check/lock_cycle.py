@@ -1,0 +1,32 @@
+"""Injected-bug fixture: a static lock-acquisition cycle.
+
+``one_then_two`` acquires ``Basket._lock`` and then ``Scheduler._lock``
+— against the declared engine order — while ``two_then_one`` nests the
+same pair the other way, so the extracted graph both violates the rank
+order and contains a cycle.  ``repro check`` must report
+``lock-order-violation`` and ``lock-cycle``.
+"""
+
+import threading
+
+
+class Basket:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+
+def one_then_two(basket: Basket, scheduler: Scheduler) -> None:
+    with basket._lock:
+        with scheduler._lock:
+            pass
+
+
+def two_then_one(basket: Basket, scheduler: Scheduler) -> None:
+    with scheduler._lock:
+        with basket._lock:
+            pass

@@ -1,0 +1,24 @@
+"""Injected-bug fixture: a guarded attribute written outside its lock.
+
+``repro check`` must flag the write in ``sloppy_increment`` (and the
+read in ``sloppy_read``) as ``unguarded-write`` / ``unguarded-read``.
+Not imported by anything; exists only for the acceptance tests.
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def increment(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def sloppy_increment(self) -> None:
+        self.count += 1  # BUG: no lock held
+
+    def sloppy_read(self) -> int:
+        return self.count  # BUG: no lock held

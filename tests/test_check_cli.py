@@ -1,0 +1,84 @@
+"""``repro check``: CLI exit codes, output formats, injected-bug fixtures."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.checker import default_check_path, run_check_cli
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "check"
+
+
+def run(argv):
+    out = io.StringIO()
+    code = run_check_cli(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_default_path_is_the_installed_package():
+    assert default_check_path().endswith("repro")
+
+
+def test_clean_on_engine_sources():
+    code, output = run([])
+    assert code == 0, output
+    assert "0 errors" in output
+    assert "lock-order edge" in output
+
+
+def test_missing_path_exits_2():
+    code, output = run(["/no/such/path.py"])
+    assert code == 2
+    assert "does not exist" in output
+
+
+def test_unguarded_write_fixture_is_caught():
+    fixture = str(FIXTURES / "unguarded_write.py")
+    code, output = run([fixture])
+    assert code == 1
+    assert "unguarded-write" in output
+    assert "unguarded-read" in output
+    # Actionable: names the attribute, the missing lock, and the line.
+    assert "count" in output
+    assert "_lock" in output
+    assert "unguarded_write.py:" in output
+
+
+def test_lock_cycle_fixture_is_caught():
+    fixture = str(FIXTURES / "lock_cycle.py")
+    code, output = run([fixture])
+    assert code == 1
+    assert "lock-order-violation" in output
+    assert "lock-cycle" in output
+    assert "Scheduler._lock" in output and "Basket._lock" in output
+
+
+def test_json_format_structure():
+    fixture = str(FIXTURES / "unguarded_write.py")
+    out = io.StringIO()
+    code = run_check_cli([fixture, "--format", "json"], out=out)
+    assert code == 1
+    data = json.loads(out.getvalue())
+    assert data["files"] == [fixture]
+    assert data["lock_order"]  # the declared engine order ships with it
+    assert data["report"]["ok"] is False
+    findings = {d["code"] for d in data["report"]["diagnostics"]}
+    assert {"unguarded-write", "unguarded-read"} <= findings
+    anchored = data["report"]["diagnostics"][0]
+    assert anchored["file"] == fixture
+    assert isinstance(anchored["line"], int)
+
+
+def test_quiet_hides_warnings_keeps_errors():
+    fixture = str(FIXTURES / "unguarded_write.py")
+    code, output = run([fixture, "--quiet"])
+    assert code == 1
+    assert "error:" in output
+    assert "warning:" not in output
+
+
+def test_cli_dispatch_via_main():
+    from repro.cli import main
+
+    assert main(["check", str(FIXTURES / "unguarded_write.py"), "--quiet"]) == 1

@@ -1,0 +1,215 @@
+"""The plan resource-bound analyzer: lattice, bounds, diagnostics, CLI."""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import run_lint_cli
+from repro.analysis.resources import (
+    UNBOUNDED,
+    Bound,
+    analyze_resources,
+    combine_compacts,
+)
+from repro.core.engine import DataCellEngine
+from repro.core.overflow import ShedOldest
+from repro.core.rewriter import rewrite
+from repro.errors import ReproError
+from repro.sql.optimizer import optimize
+from repro.sql.planner import plan_query
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "check"
+
+
+def plan_for(sql, limits=None, streams=None):
+    engine = DataCellEngine()
+    for name, (cap, overflow) in (limits or {"s": (None, None)}).items():
+        engine.create_stream(
+            name,
+            (streams or {}).get(name, [("a", "int"), ("b", "int")]),
+            capacity=cap,
+            overflow=overflow,
+        )
+    plan = rewrite(optimize(plan_query(sql, engine.catalog)))
+    return plan, engine._stream_limits
+
+
+def analyze(sql, limits=None, streams=None):
+    plan, stream_limits = plan_for(sql, limits, streams)
+    return analyze_resources(plan, stream_limits, subject="test")
+
+
+# ----------------------------------------------------------------------
+# the bound lattice
+# ----------------------------------------------------------------------
+def test_bound_algebra():
+    w = Bound(1, 1)
+    assert Bound(3).add(Bound(4)) == Bound(7)
+    assert Bound(3).mul(Bound(4)) == Bound(12)
+    assert w.mul(w) == Bound(1, 2)
+    assert Bound(2, 1).add(Bound(5)) == Bound(7, 1)  # degree dominates
+    assert Bound(0).mul(UNBOUNDED) == Bound(0)
+    assert not UNBOUNDED.add(Bound(1)).finite
+    assert Bound(2).min_with(w) == Bound(2)  # constants below symbols
+    assert Bound(2).max_with(w) == w
+
+
+def test_bound_render():
+    assert Bound(12).render() == "12"
+    assert Bound(1, 1).render() == "W"
+    assert Bound(3, 2).render() == "3·W^2"
+    assert UNBOUNDED.render() == "unbounded"
+
+
+# ----------------------------------------------------------------------
+# per-plan bounds
+# ----------------------------------------------------------------------
+def test_sliding_aggregate_state_is_one_partial_per_window():
+    result = analyze("SELECT sum(a) AS x FROM s [RANGE 100 SLIDE 10]")
+    assert result.ok and result.bounded
+    [alias] = result.aliases
+    assert alias.window_tuples == Bound(10)
+    assert alias.live_windows == Bound(10)
+    assert alias.state == Bound(10)  # one scalar partial per basic window
+
+
+def test_select_only_state_scales_with_window():
+    result = analyze("SELECT a, b FROM s [RANGE 100 SLIDE 10] WHERE a > 5")
+    assert result.bounded
+    # Two columns × 10 tuples × 10 live windows.
+    assert result.total_state == Bound(200)
+
+
+def test_landmark_aggregate_compacts_to_constant_state():
+    plan, limits = plan_for("SELECT sum(a) AS x FROM s [LANDMARK SLIDE 10]")
+    assert combine_compacts(plan)
+    result = analyze_resources(plan, limits)
+    assert result.bounded
+    assert not result.report.warnings()
+
+
+def test_landmark_select_is_flagged_unbounded():
+    result = analyze("SELECT a FROM s [LANDMARK SLIDE 10] WHERE a > 3")
+    assert not result.bounded
+    [warning] = result.report.warnings()
+    assert warning.code == "unbounded-landmark"
+    assert "landmark" in warning.message
+    assert result.ok  # a warning, not an error: the engine accepts it
+
+
+def test_capacity_below_one_basic_window_is_an_error():
+    result = analyze(
+        "SELECT sum(a) AS x FROM s [RANGE 100 SLIDE 10]", limits={"s": (5, None)}
+    )
+    assert not result.ok
+    [error] = result.report.errors()
+    assert error.code == "capacity-starved"
+    assert "never fire" in error.message
+
+
+def test_tight_shedding_capacity_warns():
+    result = analyze(
+        "SELECT sum(a) AS x FROM s [RANGE 100 SLIDE 10]",
+        limits={"s": (15, ShedOldest())},
+    )
+    assert result.ok
+    [warning] = result.report.warnings()
+    assert warning.code == "capacity-tight"
+
+
+def test_join_fanout_warning_and_pair_bounds():
+    result = analyze(
+        "SELECT max(s.a) AS x FROM s [RANGE 1024 SLIDE 8], r [RANGE 1024 SLIDE 8] "
+        "WHERE s.a = r.a",
+        limits={"s": (None, None), "r": (None, None)},
+    )
+    assert result.join_pairs == Bound(128 * 128)
+    assert any(d.code == "join-fanout" for d in result.report.warnings())
+
+
+def test_time_based_window_keeps_the_symbol():
+    result = analyze("SELECT avg(a) AS x FROM s [RANGE 40 SECONDS SLIDE 10 SECONDS]")
+    assert result.bounded
+    [alias] = result.aliases
+    assert alias.window_tuples == Bound(1, 1)
+    assert alias.basket_need == Bound(1, 1)  # unknown, never "starved"
+
+
+def test_report_json_roundtrip():
+    result = analyze("SELECT sum(a) AS x FROM s [RANGE 100 SLIDE 10]")
+    data = result.to_json()
+    assert data["bounded"] is True
+    assert data["total_state"]["text"] == "10"
+    assert data["aliases"][0]["window"]["kind"] == "sliding"
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+def test_submit_attaches_resources_to_the_handle():
+    engine = DataCellEngine()
+    engine.create_stream("s", [("a", "int")])
+    handle = engine.submit("SELECT sum(a) AS x FROM s [RANGE 40 SLIDE 10]")
+    assert handle.resources is not None
+    assert handle.resources.bounded
+    reeval = engine.submit(
+        "SELECT sum(a) AS x FROM s [RANGE 40 SLIDE 10]", mode="reeval"
+    )
+    assert reeval.resources is None
+
+
+def test_verify_plans_raises_on_capacity_starvation():
+    engine = DataCellEngine(verify_plans=True)
+    engine.create_stream("s", [("a", "int")], capacity=5)
+    with pytest.raises(ReproError, match="capacity-starved|capacity 5"):
+        engine.submit("SELECT sum(a) AS x FROM s [RANGE 40 SLIDE 10]")
+    # Without verify mode the same submit goes through (warn-at-runtime).
+    lenient = DataCellEngine()
+    lenient.create_stream("s", [("a", "int")], capacity=5)
+    handle = lenient.submit("SELECT sum(a) AS x FROM s [RANGE 40 SLIDE 10]")
+    assert not handle.resources.ok
+
+
+# ----------------------------------------------------------------------
+# repro lint --resources
+# ----------------------------------------------------------------------
+def run_lint(argv):
+    out = io.StringIO()
+    code = run_lint_cli(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_lint_resources_reports_finite_bounds_for_shipped_queries():
+    repo = Path(__file__).resolve().parent.parent
+    code, output = run_lint(
+        ["--resources", str(repo / "examples"), str(repo / "benchmarks")]
+    )
+    assert code == 0, output
+    assert "state bound:" in output
+    # Acceptance: every shipped query has a finite bound (the landmark
+    # examples all aggregate, so they compact).
+    assert "state bound: unbounded" not in output
+
+
+def test_lint_resources_flags_the_landmark_fixture():
+    code, output = run_lint(
+        ["--resources", str(FIXTURES / "landmark_example.py")]
+    )
+    assert code == 0, output  # warning-severity: reported, not fatal
+    assert "unbounded-landmark" in output
+    assert "state bound: unbounded" in output
+
+
+def test_lint_sql_resources_with_declared_schema():
+    code, output = run_lint(
+        [
+            "--resources",
+            "--sql",
+            "SELECT sum(x) AS t FROM s [RANGE 64 SLIDE 8]",
+            "--stream",
+            "s(x int)",
+        ]
+    )
+    assert code == 0, output
+    assert "state bound: 8" in output
