@@ -1,0 +1,270 @@
+"""Backend comparison — compiled vs interpreted single-query throughput.
+
+Fig. 4-style setup: one continuous query over one stream, count-based
+sliding window, measured per firing.  Two query shapes:
+
+* ``q1`` — the paper's Q1 (selection + grouped aggregation).  Its plans
+  are dominated by group/aggregate kernels that both backends execute
+  identically, so the compiled win is modest; it is reported to keep the
+  comparison honest.
+* ``calc`` — the same fig4 shape with the arithmetic-heavy predicates
+  and projected expressions of a calibration/scoring workload (tens of
+  calc instructions per firing).  This is the case the compiled backend
+  (DESIGN.md §13) targets: the whole WHERE tree and every SELECT
+  expression fuse into native numpy statements, and the per-instruction
+  interpreter overhead disappears.
+
+Reported per query and backend: end-to-end wall time for the feed loop,
+time spent executing programs (fragment + combine + finalize, measured
+by wrapping the factory's execution backend), program-level tuple
+throughput, and the compiled/interpreted speedups.  Every rep also
+cross-checks that both backends emit identical windows.
+
+Measurements are interleaved best-of-N to shake scheduling noise.
+
+Runs standalone too::
+
+    python benchmarks/bench_backend_compare.py [--smoke]
+
+``--smoke`` is the CI mode: a seconds-scale run with a relaxed speedup
+floor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import DataCellEngine
+from repro.bench import report
+
+WINDOW = 8_192
+STEP = 128
+FIRINGS = 40
+REPS = 5
+
+SMOKE_WINDOW = 1_024
+SMOKE_STEP = 64
+SMOKE_FIRINGS = 10
+SMOKE_REPS = 2
+
+#: Acceptance floors for the calc-heavy query's program-execution speedup.
+MIN_CALC_SPEEDUP = 3.0
+MIN_CALC_SPEEDUP_SMOKE = 1.5
+
+Q1_SQL = (
+    "SELECT x1, sum(x2) FROM stream [RANGE {window} SLIDE {step}] "
+    "WHERE x1 > 20 GROUP BY x1"
+)
+
+CALC_SQL = (
+    "SELECT sum((x1*5+x2*2-7)*3-x1*2+x2*9-4), "
+    "max((x2*3-x1*2+1)*2+x1*7-x2*3+6), "
+    "sum((x1-x2*4+9)*5+x2*6-x1*8+2) "
+    "FROM stream [RANGE {window} SLIDE {step}] "
+    "WHERE ((x1*2+x2-3)*5+x2*7-x1*3+11)*2-(x1*4-x2*2+5)*3+x1*6-x2*5+13 > 900"
+)
+
+QUERIES = [("q1", Q1_SQL), ("calc", CALC_SQL)]
+
+
+def _workload(total: int, seed: int = 11) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "x1": rng.integers(0, 100, total),
+        "x2": rng.integers(0, 50, total),
+    }
+
+
+class TimedBackend:
+    """Wraps an execution backend, accumulating wall time inside ``run``."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.seconds = 0.0
+
+    def run(self, program, inputs, profiler=None):
+        start = time.perf_counter()
+        try:
+            return self._inner.run(program, inputs, profiler)
+        finally:
+            self.seconds += time.perf_counter() - start
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def run_query(
+    backend: str,
+    sql_template: str,
+    window: int,
+    step: int,
+    firings: int,
+    columns: dict[str, np.ndarray],
+) -> dict:
+    """One backend × one query: feed ``firings`` slides, time everything."""
+    engine = DataCellEngine(backend=backend)
+    engine.create_stream("stream", [("x1", "int"), ("x2", "int")])
+    query = engine.submit(sql_template.format(window=window, step=step))
+    timed = TimedBackend(query.factory._interp)
+    query.factory._interp = timed
+    try:
+        start = time.perf_counter()
+        fed = 0
+        for index in range(firings):
+            take = window if index == 0 else step
+            engine.feed(
+                "stream",
+                columns={name: vals[fed:fed + take] for name, vals in columns.items()},
+            )
+            fed += take
+            engine.run_until_idle()
+        wall = time.perf_counter() - start
+        rows = [batch.rows() for batch in query.results()]
+        if len(rows) != firings:
+            raise AssertionError(
+                f"{backend}: {len(rows)} windows fired, expected {firings}"
+            )
+    finally:
+        engine.close()
+    return {"wall": wall, "prog": timed.seconds, "rows": rows, "tuples": fed}
+
+
+def compare(
+    window: int = WINDOW,
+    step: int = STEP,
+    firings: int = FIRINGS,
+    reps: int = REPS,
+) -> list[tuple]:
+    """Interleaved best-of-``reps`` for every query × backend."""
+    total = window + (firings - 1) * step
+    columns = _workload(total)
+    rows = []
+    for label, sql in QUERIES:
+        best = {"interpreted": None, "compiled": None}
+        for __ in range(reps):
+            runs = {
+                backend: run_query(backend, sql, window, step, firings, columns)
+                for backend in ("interpreted", "compiled")
+            }
+            if runs["interpreted"]["rows"] != runs["compiled"]["rows"]:
+                raise AssertionError(
+                    f"{label}: backends disagree on emitted windows"
+                )
+            for backend, run in runs.items():
+                if best[backend] is None or run["prog"] < best[backend]["prog"]:
+                    best[backend] = run
+        interp, compiled = best["interpreted"], best["compiled"]
+        assert interp is not None and compiled is not None
+        for backend, run in (("interpreted", interp), ("compiled", compiled)):
+            rows.append(
+                (
+                    label,
+                    backend,
+                    run["wall"],
+                    run["prog"],
+                    run["tuples"] / run["prog"],
+                    interp["prog"] / run["prog"],
+                    interp["wall"] / run["wall"],
+                )
+            )
+    return rows
+
+
+def check_rows(
+    rows: list[tuple],
+    min_calc_speedup: float = MIN_CALC_SPEEDUP,
+    min_q1_speedup: float = 1.0,
+) -> None:
+    """The acceptance invariant: calc-heavy program execution ≥ floor."""
+    by_key = {(r[0], r[1]): r for r in rows}
+    calc = by_key[("calc", "compiled")]
+    assert calc[5] >= min_calc_speedup, (
+        f"calc-heavy program-execution speedup {calc[5]:.2f}x "
+        f"< {min_calc_speedup}x over the interpreter"
+    )
+    q1 = by_key[("q1", "compiled")]
+    assert q1[5] >= min_q1_speedup, (
+        f"q1 compiled program-execution speedup {q1[5]:.2f}x < {min_q1_speedup}x"
+    )
+
+
+HEADERS = [
+    "query",
+    "backend",
+    "wall s",
+    "program s",
+    "tuples/s (prog)",
+    "prog speedup",
+    "wall speedup",
+]
+
+
+def _report(
+    rows: list[tuple],
+    name: str = "backend_compare",
+    window: int = WINDOW,
+    step: int = STEP,
+    firings: int = FIRINGS,
+) -> None:
+    report(
+        name,
+        "Execution backend comparison — compiled vs interpreted "
+        f"(fig4-style single query, |W|={window}, |w|={step}, {firings} "
+        "firings, interleaved best-of-N; program s = time inside "
+        "fragment/combine/finalize execution)",
+        HEADERS,
+        [
+            (
+                label,
+                backend,
+                f"{wall:.4f}",
+                f"{prog:.4f}",
+                int(tput),
+                f"{prog_speedup:.2f}x",
+                f"{wall_speedup:.2f}x",
+            )
+            for label, backend, wall, prog, tput, prog_speedup, wall_speedup in rows
+        ],
+    )
+
+
+class TestBackendCompare:
+    def test_compare(self, benchmark):
+        rows = compare()
+        _report(rows)
+        check_rows(rows)
+        columns = _workload(WINDOW + (FIRINGS - 1) * STEP)
+        benchmark.pedantic(
+            lambda: run_query("compiled", CALC_SQL, WINDOW, STEP, FIRINGS, columns),
+            rounds=2,
+            iterations=1,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI run (scaled-down geometry, relaxed speedup floor)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = compare(SMOKE_WINDOW, SMOKE_STEP, SMOKE_FIRINGS, SMOKE_REPS)
+        _report(rows, "backend_compare_smoke", SMOKE_WINDOW, SMOKE_STEP, SMOKE_FIRINGS)
+        # Smoke scale is noise-dominated; require the direction, not the margin.
+        check_rows(rows, min_calc_speedup=MIN_CALC_SPEEDUP_SMOKE, min_q1_speedup=0.85)
+    else:
+        rows = compare()
+        _report(rows)
+        check_rows(rows)
+    print("\nbackend comparison invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,11 @@ producers outrun the engine (``fail``, ``block[:timeout]``,
 docs/OPERATIONS.md).  The ``STATS`` command prints per-stream overload
 counters and per-factory profiler snapshots.
 
+``--backend compiled`` switches the console's engine to the compiled
+execution backend (verified programs specialized into fused callables,
+DESIGN.md §13); the default ``interpreted`` is the op-at-a-time
+interpreter.  Results are identical either way.
+
 ``python -m repro lint [...]`` is a separate subcommand that statically
 verifies rewritten plans (see :mod:`repro.analysis.lint`), and
 ``python -m repro fuzz [...]`` runs the differential fuzzing harness
@@ -99,8 +104,9 @@ class Console:
         workers: int = 1,
         capacity: Optional[int] = None,
         overflow: Optional[OverflowPolicy] = None,
+        backend: str = "interpreted",
     ) -> None:
-        self.engine = DataCellEngine(workers=workers)
+        self.engine = DataCellEngine(workers=workers, backend=backend)
         self.capacity = capacity
         self.overflow = overflow
         self.out = out if out is not None else sys.stdout
@@ -407,10 +413,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     workers = 1
     capacity: Optional[int] = None
     overflow = None
+    backend = "interpreted"
     while argv and argv[0].startswith("--"):
         flag = argv.pop(0)
         name, __, inline = flag.partition("=")
-        if name not in ("--workers", "--capacity", "--overflow"):
+        if name not in ("--workers", "--capacity", "--overflow", "--backend"):
             print(f"error: unknown flag {name!r}", file=sys.stderr)
             return 2
         if inline:
@@ -429,6 +436,17 @@ def main(argv: Optional[list[str]] = None) -> int:
                 capacity = int(value)
                 if capacity < 1:
                     raise ValueError
+            elif name == "--backend":
+                from repro.kernel.execution.backends import BACKENDS
+
+                if value not in BACKENDS:
+                    print(
+                        f"error: --backend must be one of {', '.join(BACKENDS)},"
+                        f" got {value!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                backend = value
             else:
                 overflow = parse_overflow_spec(value)
         except ValueError:
@@ -441,7 +459,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     if overflow is not None and capacity is None:
         print("error: --overflow needs --capacity", file=sys.stderr)
         return 2
-    console = Console(workers=workers, capacity=capacity, overflow=overflow)
+    console = Console(
+        workers=workers, capacity=capacity, overflow=overflow, backend=backend
+    )
     if argv:
         for path in argv:
             with open(path) as script:

@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT
+from repro.kernel.execution.backends import BACKENDS
 from repro.kernel.execution.interpreter import Interpreter
 from repro.kernel.storage import Catalog, Schema, Table
 from repro.obs import Observability, collect_metrics, render_json, render_prometheus
@@ -134,6 +135,13 @@ class DataCellEngine:
     computation per basic window through an engine-wide
     :class:`FragmentCache`; it never changes results, only work.
 
+    ``backend`` picks how factories execute their programs:
+    ``"interpreted"`` (op-at-a-time, the default) or ``"compiled"``
+    (each verified program specialized once into a fused callable, with
+    automatic per-program interpreter fallback — DESIGN.md §13).  The
+    choice never affects results, and ``backend="compiled"`` implies the
+    static plan verifier runs on every submitted incremental plan.
+
     Overload control is configured per stream: ``create_stream(...,
     capacity=, overflow=)`` bounds that stream's baskets and picks the
     policy applied when producers outrun factories (see
@@ -147,11 +155,20 @@ class DataCellEngine:
         workers: int = 1,
         fragment_sharing: bool = True,
         observability: bool = True,
+        backend: str = "interpreted",
     ) -> None:
         if verify_plans is None:
             flag = os.environ.get("REPRO_VERIFY_PLANS", "")
             verify_plans = flag.strip().lower() in ("1", "true", "yes", "on")
         self.verify_plans = verify_plans
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
+            )
+        #: Program-execution backend every factory of this engine uses:
+        #: ``"interpreted"`` (default) or ``"compiled"`` (fused callables,
+        #: see DESIGN.md §13).  Results are identical either way.
+        self.backend = backend
         self.fragment_sharing = fragment_sharing
         #: Tracing sinks (firing spans, latency histograms, per-opcode
         #: durations); ``observability=False`` drops them entirely — the
@@ -295,8 +312,10 @@ class DataCellEngine:
                     "plan resource analysis failed:\n"
                     + resources.report.render(include_warnings=False)
                 )
-            if self.verify_plans:
+            if self.verify_plans or self.backend == "compiled":
                 # Imported lazily: repro.analysis depends on this module.
+                # The compiled backend always verifies first — the
+                # compiler must only ever see typed, validated programs.
                 from repro.analysis.plan_verifier import check_plan
 
                 schemas = {
@@ -310,7 +329,9 @@ class DataCellEngine:
                     for scan in find_scans(planned.plan)
                 }
                 check_plan(plan, schemas)
-            factory = IncrementalFactory(plan, baskets, tables, name=query_name)
+            factory = IncrementalFactory(
+                plan, baskets, tables, name=query_name, backend=self.backend
+            )
             if (
                 self.fragment_sharing
                 and plan.fragment is not None
@@ -321,7 +342,9 @@ class DataCellEngine:
             ):
                 self._enable_sharing(factory, plan)
         else:
-            factory = ReevalFactory(planned, baskets, tables, name=query_name)
+            factory = ReevalFactory(
+                planned, baskets, tables, name=query_name, backend=self.backend
+            )
 
         emitter = CollectingEmitter()
         self.scheduler.register(factory, emitter)

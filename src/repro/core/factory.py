@@ -31,7 +31,7 @@ from repro.core.rewriter.incremental import IncrementalPlan, packed, prep_slot
 from repro.errors import SchedulerError, UnsupportedQueryError
 from repro.kernel.algebra.setops import concat
 from repro.kernel.bat import BAT
-from repro.kernel.execution.interpreter import Interpreter
+from repro.kernel.execution.backends import make_backend
 from repro.kernel.execution.profiler import Profiler
 from repro.kernel.execution.program import TAG_MERGE
 from repro.kernel.storage import Table
@@ -124,12 +124,13 @@ class IncrementalFactory(FactoryBase):
         baskets: dict[str, Basket],
         tables: Optional[dict[str, Table]] = None,
         name: str = "factory",
+        backend: str = "interpreted",
     ) -> None:
         self.name = name
         self.plan = plan
         self._baskets = baskets
         self._tables = tables or {}
-        self._interp = Interpreter()
+        self._interp = make_backend(backend)
         self._initialized = False
         self.window_index = 0
         # Cross-query fragment sharing (single-stream queries only): the

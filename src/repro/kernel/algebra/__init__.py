@@ -10,8 +10,26 @@ Submodules group the operator families (MonetDB module naming):
 * :mod:`repro.kernel.algebra.sort` — ordering and top-N
 * :mod:`repro.kernel.algebra.setops` — concat/pack, slices, unique
 * :mod:`repro.kernel.algebra.calc` — scalar/vector calculator
+
+The package re-exports every operator *except* the four whose name
+collides with its submodule (``group.group``, ``join.join``,
+``select.select``, ``sort.sort``).  Those are reached through their
+submodule — ``from repro.kernel.algebra import join; join.join(l, r)`` —
+so ``from repro.kernel.algebra import group, join, select, sort`` always
+yields the submodules, never a shadowing function, and the interpreter
+and compiler can import them without :mod:`importlib` workarounds.
 """
 
+from repro.kernel.algebra import (
+    aggregate,
+    calc,
+    group,
+    join,
+    project,
+    select,
+    setops,
+    sort,
+)
 from repro.kernel.algebra.aggregate import (
     subavg,
     subcount,
@@ -25,18 +43,20 @@ from repro.kernel.algebra.aggregate import (
     total_sum,
 )
 from repro.kernel.algebra.calc import arith, compare, divide
-from repro.kernel.algebra.group import Grouping, distinct, group, group_values
-from repro.kernel.algebra.join import antijoin, join, semijoin
+from repro.kernel.algebra.group import Grouping, distinct, group_values
+from repro.kernel.algebra.join import antijoin, semijoin
 from repro.kernel.algebra.project import head_oids, materialize, projection
-from repro.kernel.algebra.select import mask_select, select, thetaselect
+from repro.kernel.algebra.select import mask_select, thetaselect
 from repro.kernel.algebra.setops import append, concat, slice_bat, unique
-from repro.kernel.algebra.sort import firstn, sort, sort_refine
+from repro.kernel.algebra.sort import firstn, sort_refine
 
 __all__ = [
     "Grouping",
+    "aggregate",
     "antijoin",
     "append",
     "arith",
+    "calc",
     "compare",
     "concat",
     "distinct",
@@ -48,9 +68,11 @@ __all__ = [
     "join",
     "mask_select",
     "materialize",
+    "project",
     "projection",
     "select",
     "semijoin",
+    "setops",
     "slice_bat",
     "sort",
     "sort_refine",

@@ -1,6 +1,22 @@
-"""Operator-at-a-time execution: programs, interpreter, profiler."""
+"""Program execution: interpreter, compiled backend, profiler."""
 
-from repro.kernel.execution.interpreter import Interpreter, known_opcodes
+from repro.kernel.execution.backends import (
+    BACKENDS,
+    CompiledBackend,
+    ExecutionBackend,
+    InterpreterBackend,
+    make_backend,
+)
+from repro.kernel.execution.compiled import (
+    CompiledProgram,
+    ProgramCompiler,
+    compile_program,
+)
+from repro.kernel.execution.interpreter import (
+    Interpreter,
+    kernel_registry,
+    known_opcodes,
+)
 from repro.kernel.execution.profiler import Profiler
 from repro.kernel.execution.program import (
     TAG_ADMIN,
@@ -14,15 +30,24 @@ from repro.kernel.execution.program import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CompiledBackend",
+    "CompiledProgram",
+    "ExecutionBackend",
     "Instr",
     "Interpreter",
+    "InterpreterBackend",
     "Lit",
     "Profiler",
     "Program",
+    "ProgramCompiler",
     "Ref",
     "SlotNames",
     "TAG_ADMIN",
     "TAG_MAIN",
     "TAG_MERGE",
+    "compile_program",
+    "kernel_registry",
     "known_opcodes",
+    "make_backend",
 ]

@@ -1,0 +1,148 @@
+"""Execution-backend seam: interpreted vs compiled program evaluation.
+
+Factories hold an :class:`ExecutionBackend` instead of a bare
+:class:`~repro.kernel.execution.interpreter.Interpreter`, so the choice
+between op-at-a-time interpretation and compiled/fused execution
+(:mod:`repro.kernel.execution.compiled`) is one constructor argument
+(``DataCellEngine(backend="compiled")``) rather than a code change.
+
+Fallback contract: the compiler specializes exactly the *built-in*
+opcode surface (:func:`~repro.kernel.execution.interpreter.kernel_registry`).
+A program containing any other opcode — e.g. one registered on a custom
+interpreter registry — compiles to ``None`` once and runs through the
+interpreter on every firing, bumping the
+:data:`~repro.kernel.execution.profiler.COUNTER_COMPILED_FALLBACKS`
+counter so the fallback is observable (``repro top`` counters, tests).
+Opcodes unknown to both raise
+:class:`~repro.errors.UnknownInstructionError` exactly as the interpreter
+alone would.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional
+
+from repro.kernel.execution.compiled import CompiledProgram, ProgramCompiler
+from repro.kernel.execution.interpreter import Interpreter
+from repro.kernel.execution.profiler import COUNTER_COMPILED_FALLBACKS, Profiler
+from repro.kernel.execution.program import Program
+
+#: Backend names accepted by ``make_backend`` / ``DataCellEngine``.
+BACKENDS: tuple[str, ...] = ("interpreted", "compiled")
+
+#: Compiled-program cache entries kept per backend (plans per factory are
+#: few and long-lived; the cap only guards pathological churn).
+_CACHE_CAP = 256
+
+
+class ExecutionBackend:
+    """Evaluates verified Programs; same run() contract as Interpreter."""
+
+    name: str = "abstract"
+
+    def run(
+        self,
+        program: Program,
+        inputs: Mapping[str, object],
+        profiler: Optional[Profiler] = None,
+    ) -> dict[str, object]:
+        raise NotImplementedError
+
+
+class InterpreterBackend(ExecutionBackend):
+    """Op-at-a-time interpretation — the default backend."""
+
+    name = "interpreted"
+
+    def __init__(self, interpreter: Optional[Interpreter] = None) -> None:
+        self._interp = interpreter if interpreter is not None else Interpreter()
+
+    def run(
+        self,
+        program: Program,
+        inputs: Mapping[str, object],
+        profiler: Optional[Profiler] = None,
+    ) -> dict[str, object]:
+        return self._interp.run(program, inputs, profiler)
+
+
+class CompiledBackend(ExecutionBackend):
+    """Compiled/fused execution with per-program interpreter fallback.
+
+    Compilation results are memoized per Program identity: factory plans
+    are built once at submit time and reused for every firing, so keying
+    on ``id(program)`` is both safe (the cache entry keeps the program
+    alive, preventing id reuse) and free of the cost of structural
+    hashing.  A ``None`` entry records a program that failed to compile
+    (unsupported opcode) and permanently runs interpreted.
+    """
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        interpreter: Optional[Interpreter] = None,
+        profile: bool = False,
+    ) -> None:
+        # The compiler always targets the built-in registry; the fallback
+        # interpreter may carry extension opcodes on top of it.
+        self._compiler = ProgramCompiler()
+        self._interp = interpreter if interpreter is not None else Interpreter()
+        self._profile = profile
+        self._lock = threading.Lock()
+        # id(program) -> (program, compiled-or-None)
+        self._cache: dict[int, tuple[Program, Optional[CompiledProgram]]] = {}  # guarded-by: _lock
+
+    def compiled_for(self, program: Program) -> Optional[CompiledProgram]:
+        """The memoized compilation of ``program`` (None = fallback)."""
+        key = id(program)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                return entry[1]
+        # Compile outside the lock: compilation execs source and may run
+        # constant folding; concurrent duplicate compiles are benign.
+        try:
+            compiled: Optional[CompiledProgram] = self._compiler.compile(
+                program, profile=self._profile
+            )
+        except Exception:
+            compiled = None
+        with self._lock:
+            if len(self._cache) >= _CACHE_CAP:
+                self._cache.clear()
+            self._cache[key] = (program, compiled)
+        return compiled
+
+    def run(
+        self,
+        program: Program,
+        inputs: Mapping[str, object],
+        profiler: Optional[Profiler] = None,
+    ) -> dict[str, object]:
+        compiled = self.compiled_for(program)
+        if compiled is None:
+            if profiler is not None:
+                profiler.count(COUNTER_COMPILED_FALLBACKS)
+            return self._interp.run(program, inputs, profiler)
+        return compiled.run(inputs, profiler)
+
+
+def make_backend(
+    name: str,
+    interpreter: Optional[Interpreter] = None,
+    profile: bool = False,
+) -> ExecutionBackend:
+    """Build a backend by name (``interpreted`` | ``compiled``).
+
+    ``interpreter`` seeds the interpreted path (and the compiled
+    backend's fallback) — pass one carrying extension opcodes if needed.
+    ``profile`` only affects the compiled backend: it preserves
+    per-opcode timing at the cost of disabling fusion.
+    """
+    if name == "interpreted":
+        return InterpreterBackend(interpreter)
+    if name == "compiled":
+        return CompiledBackend(interpreter, profile=profile)
+    raise ValueError(f"unknown execution backend {name!r}; expected one of {BACKENDS}")

@@ -1,0 +1,944 @@
+"""Compiled execution backend: specialize a verified Program into one
+fused Python callable.
+
+The interpreter (:mod:`repro.kernel.execution.interpreter`) pays
+per-instruction Python dispatch on every firing: a registry lookup, an
+operand-unpacking loop, env dict writes, and two ``time.perf_counter()``
+calls per opcode.  On top of that each calculator kernel re-discovers its
+operand shapes (``calc._align``), re-derives the result atom, and
+materializes an intermediate :class:`BAT` that the very next instruction
+immediately unwraps.  :class:`ProgramCompiler` removes all of it by
+*source-emitting* a single specialized function per program and
+``exec``-ing it once at compile time:
+
+* each opcode's kernel function is resolved **once** and bound into the
+  emitted function's globals (``_f0``, ``_f1``, ...);
+* :class:`~repro.kernel.execution.program.Lit` operands are pre-bound —
+  inlined as Python literals when their repr round-trips, otherwise bound
+  as named constants (``_c0``, ...);
+* environment slots become numbered Python locals (``i0``/``v0``) instead
+  of dict entries;
+* single-consumer **calc instructions are fused at the tail level**:
+  each chain value lives as three locals — raw numpy tail, atom, head
+  sequence — and the operators are emitted as native numpy expressions
+  (``_t1 = _t0 * 2``), so no intermediate :class:`BAT` is built and no
+  kernel function is called for fused arithmetic.  Fusion follows the
+  dataflow, not adjacency: a chain value stays unmaterialized across
+  interleaved non-calc instructions (projections, appends) because all
+  checks and compute are emitted at the producing instruction's original
+  position — only the materialization is elided.  A value becomes a real
+  BAT only where a multi-consumer slot, a program output, or a non-calc
+  consumer needs one — and not at all when its sole consumer is an
+  ``algebra.mask_select``, in which case the candidate list is built
+  straight from the boolean tail.  Operand
+  typing, atom promotion, and head-alignment checks are emitted
+  instruction for instruction, specialized to what is known at compile
+  time (literal operands contribute their atom statically; chain values
+  are BATs by construction; other slots are decomposed once and checked
+  dynamically);
+* instructions whose operands are all literals are constant-folded at
+  compile time (kernel functions are pure by the Program contract);
+* per-instruction profiler timing is elided in favour of one span per
+  maximal same-tag instruction run (recorded under the pseudo-opcode
+  ``compiled.fused``), so the per-tag main/merge cost breakdown the
+  benchmarks consume stays exact while the hot path pays one
+  ``perf_counter`` pair per segment instead of per instruction.  When no
+  profiler is passed at run time a separate timing-free variant runs.
+  Compiling with ``profile=True`` preserves the interpreter's exact
+  per-opcode timing (fusion and folding are disabled so ``by_opcode`` and
+  ``calls`` match instruction for instruction).
+
+Error semantics match the interpreter: a missing input raises
+:class:`~repro.errors.ExecutionError` before anything runs, and when the
+fused body fails the program is re-run through the interpreter so the
+canonical per-instruction ``ExecutionError`` (with the failing
+instruction's repr) is what propagates.  The fused chain checks are
+therefore written to be *at least as strict* as the kernels they replace:
+a spurious failure only costs one interpreted re-run, whereas silently
+succeeding where a kernel would raise could diverge.  Unsupported opcodes
+raise :class:`~repro.errors.UnknownInstructionError` at *compile* time —
+the backend seam (:mod:`repro.kernel.execution.backends`) catches that
+and falls back to the interpreter per program.
+
+The compiler only ever sees validated programs: :meth:`compile` runs
+``Program.validate()`` first, and the engine additionally runs the static
+plan verifier (:func:`repro.analysis.plan_verifier.check_plan`) on every
+plan whose factory selects the compiled backend.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError, KernelError, UnknownInstructionError
+from repro.kernel.algebra import project as project_mod
+from repro.kernel.algebra import select as select_mod
+from repro.kernel.atoms import Atom, atom_of_python, division_result, is_numeric, promote
+from repro.kernel.bat import BAT
+from repro.kernel.execution import interpreter as interpreter_mod
+from repro.kernel.execution.interpreter import Interpreter, kernel_registry
+from repro.kernel.execution.profiler import Profiler
+from repro.kernel.execution.program import Instr, Lit, Program, Ref
+
+#: Pseudo-opcode fused tag-segments are recorded under (profile=False).
+FUSED_OPCODE = "compiled.fused"
+
+
+def _inline_literal(value: object) -> Optional[str]:
+    """Source text for a literal whose repr round-trips, else None."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        # repr round-trips for finite floats; inf/nan repr is not a literal
+        return repr(value) if math.isfinite(value) else None
+    return None
+
+
+# ----------------------------------------------------------------------
+# tail-level chain evaluation: runtime helpers
+#
+# A chain value is three locals — raw tail, atom, head sequence — plus
+# compile-time knowledge of whether the operand is a BAT.  The helpers
+# below supply the pieces the emitted numpy expressions cannot express
+# inline; every raise replicates a condition under which the interpreted
+# kernel would raise too (the exact exception type/message is irrelevant:
+# any failure triggers the interpreter re-run, which produces the
+# canonical error).
+# ----------------------------------------------------------------------
+def _state_of(value: object) -> tuple[Any, Atom, int, bool]:
+    """Decompose a runtime operand exactly like ``calc._operand_info``."""
+    if isinstance(value, BAT):
+        return value.tail, value.atom, value.hseq, True
+    return value, atom_of_python(value), 0, False
+
+
+def _misaligned() -> None:
+    raise KernelError("fused chain: BATs not aligned")
+
+
+def _no_bat() -> None:
+    raise KernelError("calc needs at least one BAT operand")
+
+
+def _type_mismatch() -> None:
+    raise KernelError("fused chain: operand type mismatch")
+
+
+def _align_generic(
+    tl: Any, hl: int, bl: bool, tr: Any, hr: int, br: bool
+) -> int:
+    """Full ``calc._align`` checks when neither operand kind is known."""
+    if bl and br:
+        if hl != hr or tl.shape[0] != tr.shape[0]:
+            _misaligned()
+    elif not (bl or br):
+        _no_bat()
+    return hl if bl else hr
+
+
+def _as_bit(result: Any) -> np.ndarray:
+    """The compare kernels' result normalization."""
+    return np.atleast_1d(np.asarray(result, dtype=bool))
+
+
+def _divide_tails(lt: Any, rt: Any) -> np.ndarray:
+    """``calc.divide`` tail arithmetic (NaN for division by zero)."""
+    denominator = np.asarray(rt, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.asarray(lt, dtype=np.float64) / denominator
+    return np.atleast_1d(np.where(denominator == 0.0, np.nan, result))
+
+
+def _mat_from_array(t: np.ndarray, a: Atom, h: int) -> BAT:
+    """Materialize an arith/div chain value (the kernels' ``from_array``)."""
+    return BAT.from_array(t, a, h)
+
+
+def _mat_bat(t: np.ndarray, a: Atom, h: int) -> BAT:
+    """Materialize a cmp/logic/neg chain value (direct construction)."""
+    return BAT(t, a, h)
+
+
+def _mask_positions_of(t: np.ndarray, a: Atom) -> np.ndarray:
+    """``algebra.mask_select`` position list off a chain's boolean tail."""
+    if a is not Atom.BIT:
+        raise KernelError("mask_select expects a BIT BAT")
+    return np.flatnonzero(t).astype(np.int64)
+
+
+def _mask_oids(positions: np.ndarray, h: int) -> BAT:
+    """Turn mask positions into the kernel's absolute-oid candidate list."""
+    return BAT(positions + h, Atom.OID)
+
+
+def _project_positions(
+    cand: BAT,
+    b: BAT,
+    positions: np.ndarray,
+    hseq: int,
+    srclen: int,
+    kernel: Callable[[BAT, BAT], BAT],
+) -> BAT:
+    """``algebra.projection`` through a candidate list built by a fused
+    mask: when ``b`` is head-aligned with the mask's source the positions
+    index ``b.tail`` directly (``positions_of`` would return exactly
+    them, in range by construction); any other shape takes the kernel."""
+    if isinstance(b, BAT) and b.hseq == hseq and b.tail.shape[0] == srclen:
+        return BAT(b.tail[positions], b.atom, cand.hseq)
+    return kernel(cand, b)
+
+
+def _agg_sum_state(t: np.ndarray, a: Atom) -> BAT:
+    """``aggr.sum`` off a chain value (interpreter ``_sum_bat`` parity)."""
+    if t.shape[0] == 0:
+        return BAT.empty(a if a is Atom.FLT else Atom.INT)
+    if not is_numeric(a):
+        raise KernelError(f"sum needs a numeric column, got {a}")
+    if a is Atom.FLT:
+        return BAT.from_values([float(t.sum())], Atom.FLT)
+    return BAT.from_values([int(t.sum())], Atom.INT)
+
+
+def _agg_count_state(t: np.ndarray, a: Atom) -> BAT:
+    """``aggr.count`` off a chain value."""
+    return BAT.from_values([t.shape[0]], Atom.INT)
+
+
+def _agg_min_state(t: np.ndarray, a: Atom) -> BAT:
+    """``aggr.min`` off a chain value."""
+    if t.shape[0] == 0:
+        return BAT.empty(a)
+    value = t.min()
+    return BAT.from_values(
+        [value.item() if isinstance(value, np.generic) else value], a
+    )
+
+
+def _agg_max_state(t: np.ndarray, a: Atom) -> BAT:
+    """``aggr.max`` off a chain value."""
+    if t.shape[0] == 0:
+        return BAT.empty(a)
+    value = t.max()
+    return BAT.from_values(
+        [value.item() if isinstance(value, np.generic) else value], a
+    )
+
+
+def _agg_avg_state(t: np.ndarray, a: Atom) -> BAT:
+    """``aggr.avg`` off a chain value."""
+    if t.shape[0] == 0:
+        return BAT.empty(Atom.FLT)
+    if not is_numeric(a):
+        raise KernelError(f"avg needs a numeric column, got {a}")
+    return BAT.from_values([float(t.mean())], Atom.FLT)
+
+
+#: Helper bindings present in every compiled namespace.
+_CHAIN_HELPERS: dict[str, object] = {
+    "_x_os": _state_of,
+    "_x_mis": _misaligned,
+    "_x_nob": _no_bat,
+    "_x_tmm": _type_mismatch,
+    "_x_al": _align_generic,
+    "_x_ab": _as_bit,
+    "_x_dv": _divide_tails,
+    "_x_pro": promote,
+    "_x_dr": division_result,
+    "_x_mfa": _mat_from_array,
+    "_x_mbt": _mat_bat,
+    "_x_fnz": _mask_positions_of,
+    "_x_moid": _mask_oids,
+    "_x_prj": _project_positions,
+    "_x_gsum": _agg_sum_state,
+    "_x_gcnt": _agg_count_state,
+    "_x_gmin": _agg_min_state,
+    "_x_gmax": _agg_max_state,
+    "_x_gavg": _agg_avg_state,
+    "_AB": Atom.BIT,
+    "_AI": Atom.INT,
+    "_AF": Atom.FLT,
+    "_AS": Atom.STR,
+}
+
+#: Chain plan per opcode: (family, infix symbol or None, arity).
+_CHAIN_OPS: dict[str, tuple[str, Optional[str], int]] = {
+    "calc.+": ("arith", "+", 2),
+    "calc.-": ("arith", "-", 2),
+    "calc.*": ("arith", "*", 2),
+    "calc.%": ("arith", "%", 2),
+    "calc.==": ("cmp", "==", 2),
+    "calc.!=": ("cmp", "!=", 2),
+    "calc.<": ("cmp", "<", 2),
+    "calc.<=": ("cmp", "<=", 2),
+    "calc.>": ("cmp", ">", 2),
+    "calc.>=": ("cmp", ">=", 2),
+    "calc.div": ("div", None, 2),
+    "calc./": ("div", None, 2),
+    "calc.and": ("logic", "&", 2),
+    "calc.or": ("logic", "|", 2),
+    "calc.not": ("not", None, 1),
+    "calc.neg": ("neg", None, 1),
+}
+
+#: Chain families whose materialization goes through ``BAT.from_array``
+#: (the rest construct the BAT directly, as their kernels do).
+_FROM_ARRAY_FAMILIES = frozenset({"arith", "div"})
+
+#: Prebound names for the atoms literal operands can take.
+_ATOM_NAMES = {Atom.BIT: "_AB", Atom.INT: "_AI", Atom.FLT: "_AF", Atom.STR: "_AS"}
+
+#: Global aggregates that can consume a chain value without materializing
+#: it, mapped to their emitted helper names.
+_AGGR_STATE_OPS = {
+    "aggr.sum": "_x_gsum",
+    "aggr.count": "_x_gcnt",
+    "aggr.min": "_x_gmin",
+    "aggr.max": "_x_gmax",
+    "aggr.avg": "_x_gavg",
+}
+
+#: The canonical kernel each specialized (non-calc) fusion replicates.
+#: Fusion is enabled only when the compiler's registry maps the opcode to
+#: this exact function — a custom registry entry keeps the plain path.
+_CANONICAL_KERNELS: dict[str, object] = {
+    "algebra.mask_select": select_mod.mask_select,
+    "algebra.projection": project_mod.projection,
+    "aggr.sum": interpreter_mod._sum_bat,
+    "aggr.count": interpreter_mod._count_bat,
+    "aggr.min": interpreter_mod._min_bat,
+    "aggr.max": interpreter_mod._max_bat,
+    "aggr.avg": interpreter_mod._avg_bat,
+}
+
+
+class _Operand:
+    """Compile-time descriptor of one chain operand.
+
+    ``kind`` is ``"state"`` (a chain value: tail/atom/hseq exprs, a BAT by
+    construction), ``"ref"`` (a decomposed slot of unknown runtime kind —
+    ``b`` names the is-BAT flag local), or ``"lit"`` (``t`` is the value
+    expression, ``a`` the compile-time atom's bound name).
+    """
+
+    __slots__ = ("kind", "t", "a", "h", "b")
+
+    def __init__(self, kind: str, t: str, a: str, h: str = "", b: str = "") -> None:
+        self.kind = kind
+        self.t = t
+        self.a = a
+        self.h = h
+        self.b = b
+
+
+class CompiledProgram:
+    """One program specialized into fused callables.
+
+    ``run`` mirrors :meth:`Interpreter.run` — same signature, same
+    results, same error types — so factories can hold either behind the
+    :class:`~repro.kernel.execution.backends.ExecutionBackend` seam.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        fast: Callable[..., tuple[object, ...]],
+        traced: Callable[..., tuple[object, ...]],
+        source: str,
+        fused_count: int,
+        folded_count: int,
+        interpreter: Interpreter,
+    ) -> None:
+        self._program = program
+        self._fast = fast
+        self._traced = traced
+        #: Emitted Python source (both variants) — debugging and tests.
+        self.source = source
+        #: Intermediate BAT materializations eliminated by chain fusion.
+        self.fused_count = fused_count
+        #: Number of all-literal instructions evaluated at compile time.
+        self.folded_count = folded_count
+        self._interp = interpreter
+        self._input_names = program.inputs
+        self._output_names = program.outputs
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    def run(
+        self,
+        inputs: Mapping[str, object],
+        profiler: Optional[Profiler] = None,
+    ) -> dict[str, object]:
+        """Evaluate the program and return its declared outputs."""
+        args = []
+        for name in self._input_names:
+            if name not in inputs:
+                raise ExecutionError(f"missing program input {name!r}")
+            args.append(inputs[name])
+        try:
+            if profiler is None:
+                values = self._fast(*args)
+            else:
+                values = self._traced(*args, profiler)
+        except Exception:
+            # Reproduce the canonical per-instruction ExecutionError (the
+            # fused body carries no per-instruction try/except).  Kernel
+            # functions are pure, so the re-run fails identically — and if
+            # it unexpectedly succeeds (a chain check stricter than its
+            # kernel), the re-run's result is simply the correct answer.
+            return self._interp.run(self._program, inputs, profiler)
+        return dict(zip(self._output_names, values))
+
+
+class ProgramCompiler:
+    """Compiles verified Programs to fused callables over a fixed registry.
+
+    The compiler specializes exactly the built-in opcode surface of
+    :func:`~repro.kernel.execution.interpreter.kernel_registry` unless an
+    explicit registry is given; anything outside it raises
+    :class:`UnknownInstructionError` from :meth:`compile` (the backend
+    seam turns that into per-program interpreter fallback).
+    """
+
+    def __init__(self, registry: Optional[Mapping[str, Callable[..., Any]]] = None) -> None:
+        self._registry: Mapping[str, Callable[..., Any]] = (
+            registry if registry is not None else kernel_registry()
+        )
+        self._interp = Interpreter(self._registry)
+
+    def known_opcodes(self) -> frozenset[str]:
+        """Every opcode this compiler can specialize."""
+        return frozenset(self._registry)
+
+    # ------------------------------------------------------------------
+    def compile(self, program: Program, profile: bool = False) -> CompiledProgram:
+        """Specialize ``program``; raises on unknown opcodes or invalid plans.
+
+        ``profile=True`` keeps the interpreter's per-opcode timing: fusion
+        and constant folding are disabled so every instruction records
+        ``(tag, opcode, elapsed)`` exactly as the interpreter would.
+        """
+        try:
+            program.validate()
+        except ValueError as exc:
+            raise ExecutionError(f"cannot compile invalid program: {exc}") from exc
+        emitter = _Emitter(program, self._registry, profile)
+        fast_src, traced_src = emitter.emit()
+        source = fast_src + "\n\n" + traced_src
+        namespace: dict[str, object] = dict(emitter.bindings)
+        namespace.update(_CHAIN_HELPERS)
+        namespace["_pc"] = time.perf_counter
+        code = compile(source, "<repro.compiled>", "exec")
+        exec(code, namespace)  # noqa: S102 - our own emitted source
+        fast = namespace["_fast"]
+        traced = namespace["_traced"]
+        return CompiledProgram(
+            program,
+            fast,  # type: ignore[arg-type]
+            traced,  # type: ignore[arg-type]
+            source,
+            emitter.fused_count,
+            emitter.folded_count,
+            self._interp,
+        )
+
+
+def compile_program(
+    program: Program,
+    registry: Optional[Mapping[str, Callable[..., Any]]] = None,
+    profile: bool = False,
+) -> CompiledProgram:
+    """Convenience wrapper: one-off compilation of a single program."""
+    return ProgramCompiler(registry).compile(program, profile=profile)
+
+
+# ----------------------------------------------------------------------
+# code emission
+# ----------------------------------------------------------------------
+class _Statement:
+    """One emitted line plus the profiling metadata of its instruction."""
+
+    def __init__(self, line: str, tag: str, opcode: str) -> None:
+        self.line = line
+        self.tag = tag
+        self.opcode = opcode
+
+
+class _Emitter:
+    """Builds the ``_fast``/``_traced`` source for one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Mapping[str, Callable[..., Any]],
+        profile: bool,
+    ) -> None:
+        self.program = program
+        self.registry = registry
+        self.profile = profile
+        #: Names bound into the exec namespace (_f* kernels, _c* consts).
+        self.bindings: dict[str, object] = {}
+        self.fused_count = 0
+        self.folded_count = 0
+        self._fn_names: dict[str, str] = {}
+        self._next_const = 0
+        self._next_value = 0
+        self._next_chain = 0
+        # current slot name -> local identifier or constant binding
+        self._slot_expr: dict[str, str] = {}
+        # live chain values: slot name -> operand descriptor
+        self._chain_states: dict[str, _Operand] = {}
+        # slot local -> decomposed (t, a, h, b) locals, emitted once
+        self._decomposed: dict[str, _Operand] = {}
+        # fused-mask outputs: slot name -> (positions local, hseq expr,
+        # source-length expr) for projection specialization
+        self._mask_positions: dict[str, tuple[str, str, str]] = {}
+
+    # -- naming --------------------------------------------------------
+    def _fn(self, opcode: str) -> str:
+        name = self._fn_names.get(opcode)
+        if name is None:
+            try:
+                fn = self.registry[opcode]
+            except KeyError:
+                raise UnknownInstructionError(f"unknown opcode {opcode!r}") from None
+            name = f"_f{len(self._fn_names)}"
+            self._fn_names[opcode] = name
+            self.bindings[name] = fn
+        return name
+
+    def _bind_const(self, value: object) -> str:
+        name = f"_c{self._next_const}"
+        self._next_const += 1
+        self.bindings[name] = value
+        return name
+
+    def _const(self, value: object) -> str:
+        inline = _inline_literal(value)
+        return inline if inline is not None else self._bind_const(value)
+
+    def _atom_const(self, atom: Atom) -> str:
+        return _ATOM_NAMES.get(atom) or self._bind_const(atom)
+
+    def _fresh(self) -> str:
+        name = f"v{self._next_value}"
+        self._next_value += 1
+        return name
+
+    def _chain_locals(self) -> tuple[str, str, str]:
+        n = self._next_chain
+        self._next_chain += 1
+        return f"_t{n}", f"_a{n}", f"_h{n}"
+
+    # -- fusion / folding decisions ------------------------------------
+    def _use_counts(self) -> dict[str, int]:
+        uses: dict[str, int] = {}
+        for instr in self.program.instructions:
+            for arg in instr.args:
+                if isinstance(arg, Ref):
+                    uses[arg.name] = uses.get(arg.name, 0) + 1
+        for out in self.program.outputs:
+            uses[out] = uses.get(out, 0) + 1
+        return uses
+
+    def _first_consumers(self) -> dict[str, int]:
+        consumers: dict[str, int] = {}
+        for index, instr in enumerate(self.program.instructions):
+            for arg in instr.args:
+                if isinstance(arg, Ref) and arg.name not in consumers:
+                    consumers[arg.name] = index
+        return consumers
+
+    def _redefined(self) -> set[str]:
+        seen: set[str] = set(self.program.inputs)
+        dups: set[str] = set()
+        for instr in self.program.instructions:
+            for out in instr.outs:
+                if out in seen:
+                    dups.add(out)
+                seen.add(out)
+        return dups
+
+    def _chainable(self, instr: Instr) -> bool:
+        """Can this instruction run as a tail-level chain element?"""
+        plan = _CHAIN_OPS.get(instr.opcode)
+        if plan is None or len(instr.args) != plan[2] or len(instr.outs) != 1:
+            return False
+        if instr.opcode not in self.registry:
+            return False
+        lits = [arg for arg in instr.args if isinstance(arg, Lit)]
+        if len(lits) == len(instr.args):
+            return False  # all-literal: fold or fail on the plain path
+        if plan[0] in ("logic", "not", "neg") and lits:
+            return False  # these kernels reject scalar operands outright
+        for lit in lits:
+            try:
+                atom_of_python(lit.value)
+            except Exception:
+                # The kernel would reject this operand at run time; leave
+                # the instruction on the plain path so the canonical
+                # error surfaces.
+                return False
+        return True
+
+    def _try_fold(self, instr: Instr) -> Optional[str]:
+        """Constant-fold an all-literal single-output instruction."""
+        if self.profile or len(instr.outs) != 1:
+            return None
+        if not all(isinstance(a, Lit) for a in instr.args):
+            return None
+        fn = self.registry.get(instr.opcode)
+        if fn is None:
+            raise UnknownInstructionError(f"unknown opcode {instr.opcode!r}")
+        try:
+            value = fn(*[a.value for a in instr.args if isinstance(a, Lit)])
+        except Exception:
+            return None  # defer the error to run time (interpreter path)
+        self.folded_count += 1
+        return self._bind_const(value)
+
+    # -- plain (per-kernel-call) emission ------------------------------
+    def _emit_plain(self, instr: Instr, statements: list[_Statement]) -> None:
+        folded = self._try_fold(instr)
+        if folded is not None:
+            self._slot_expr[instr.outs[0]] = folded
+            return
+        parts = []
+        for arg in instr.args:
+            if isinstance(arg, Ref):
+                parts.append(self._slot_expr[arg.name])
+            else:
+                parts.append(self._const(arg.value))
+        call = f"{self._fn(instr.opcode)}({', '.join(parts)})"
+        if instr.outs:
+            targets = [self._fresh() for __ in instr.outs]
+            for out, target in zip(instr.outs, targets):
+                self._slot_expr[out] = target
+            line = f"{', '.join(targets)} = {call}"
+        else:
+            line = call
+        statements.append(_Statement(line, instr.tag, instr.opcode))
+
+    # -- chain emission ------------------------------------------------
+    def _operand(
+        self, arg: object, instr: Instr, statements: list[_Statement]
+    ) -> _Operand:
+        """Resolve one instruction argument to a chain operand."""
+        if isinstance(arg, Lit):
+            return _Operand(
+                "lit", self._const(arg.value), self._atom_const(atom_of_python(arg.value))
+            )
+        assert isinstance(arg, Ref)
+        state = self._chain_states.pop(arg.name, None)
+        if state is not None:
+            return state
+        slot = self._slot_expr[arg.name]
+        cached = self._decomposed.get(slot)
+        if cached is None:
+            t, a, h = self._chain_locals()
+            b = f"_b{self._next_chain - 1}"
+            statements.append(
+                _Statement(
+                    f"{t}, {a}, {h}, {b} = _x_os({slot})", instr.tag, instr.opcode
+                )
+            )
+            cached = _Operand("ref", t, a, h, b)
+            self._decomposed[slot] = cached
+        return cached
+
+    def _emit_checks_and_hseq(
+        self,
+        left: _Operand,
+        right: _Operand,
+        out: list[str],
+        require_bats: bool = False,
+    ) -> str:
+        """Emit alignment/operand-kind checks; return the hseq expression.
+
+        ``require_bats`` is the logic-family rule (both operands must be
+        BATs); otherwise ``calc._align`` semantics apply (at least one).
+        """
+        lk, rk = left.kind, right.kind
+        aligned = (
+            f"{left.h} != {right.h} or {left.t}.shape[0] != {right.t}.shape[0]"
+        )
+        if require_bats:
+            if lk == "ref":
+                out.append(f"if not {left.b}: _x_tmm()")
+            if rk == "ref":
+                out.append(f"if not {right.b}: _x_tmm()")
+            out.append(f"if {aligned}: _x_mis()")
+            return left.h
+        if lk != "lit" and rk != "lit":
+            if lk == "state" and rk == "state":
+                out.append(f"if {aligned}: _x_mis()")
+                return left.h
+            if lk == "state":  # state/ref
+                out.append(f"if {right.b} and ({aligned}): _x_mis()")
+                return left.h
+            if rk == "state":  # ref/state
+                out.append(f"if {left.b} and ({aligned}): _x_mis()")
+                return f"{left.h} if {left.b} else {right.h}"
+            hseq = self._chain_locals()[2]
+            out.append(
+                f"{hseq} = _x_al({left.t}, {left.h}, {left.b}, "
+                f"{right.t}, {right.h}, {right.b})"
+            )
+            return hseq
+        if lk == "lit" and rk == "ref":
+            out.append(f"if not {right.b}: _x_nob()")
+            return right.h
+        if rk == "lit" and lk == "ref":
+            out.append(f"if not {left.b}: _x_nob()")
+            return left.h
+        # lit/state or state/lit: the state side is a BAT by construction
+        return left.h if lk != "lit" else right.h
+
+    def _emit_chain_op(
+        self, instr: Instr, operands: list[_Operand], statements: list[_Statement]
+    ) -> _Operand:
+        """Emit one fused instruction; return its chain-value descriptor."""
+        family, symbol, __ = _CHAIN_OPS[instr.opcode]
+        lines: list[str] = []
+        left = operands[0]
+        if family in ("not", "neg"):
+            if left.kind == "ref":
+                lines.append(f"if not {left.b}: _x_tmm()")
+            if family == "not":
+                lines.append(f"if {left.a} is not _AB: _x_tmm()")
+                tail, atom = f"~{left.t}", "_AB"
+            else:
+                lines.append(
+                    f"if {left.a} is not _AI and {left.a} is not _AF: _x_tmm()"
+                )
+                tail, atom = f"-{left.t}", left.a
+            hseq = left.h
+        else:
+            right = operands[1]
+            if family == "logic":
+                for side in (left, right):
+                    lines.append(f"if {side.a} is not _AB: _x_tmm()")
+                hseq = self._emit_checks_and_hseq(left, right, lines, require_bats=True)
+                tail, atom = f"{left.t} {symbol} {right.t}", "_AB"
+            elif family == "cmp":
+                hseq = self._emit_checks_and_hseq(left, right, lines)
+                for one, other in ((left, right), (right, left)):
+                    if one.kind == "lit":
+                        check = "is not _AS" if one.a == "_AS" else "is _AS"
+                        lines.append(f"if {other.a} {check}: _x_tmm()")
+                        break
+                else:
+                    lines.append(
+                        f"if ({left.a} is _AS) != ({right.a} is _AS): _x_tmm()"
+                    )
+                tail, atom = f"_x_ab({left.t} {symbol} {right.t})", "_AB"
+            elif family == "div":
+                hseq = self._emit_checks_and_hseq(left, right, lines)
+                tail = f"_x_dv({left.t}, {right.t})"
+                atom_local = self._chain_locals()[1]
+                lines.append(f"{atom_local} = _x_dr({left.a}, {right.a})")
+                atom = atom_local
+            else:  # arith
+                hseq = self._emit_checks_and_hseq(left, right, lines)
+                tail = f"{left.t} {symbol} {right.t}"
+                atom_local = self._chain_locals()[1]
+                lines.append(
+                    f"{atom_local} = {left.a} if {left.a} is {right.a} "
+                    f"else _x_pro({left.a}, {right.a})"
+                )
+                atom = atom_local
+        tail_local = self._chain_locals()[0]
+        lines.append(f"{tail_local} = {tail}")
+        for line in lines:
+            statements.append(_Statement(line, instr.tag, instr.opcode))
+        return _Operand("state", tail_local, atom, hseq)
+
+
+    def _is_canonical(self, opcode: str) -> bool:
+        return self.registry.get(opcode) is _CANONICAL_KERNELS.get(opcode)
+
+    def _mask_fused(self, instr: Instr) -> bool:
+        """May this mask_select consume a chain value directly?"""
+        return (
+            instr.opcode == "algebra.mask_select"
+            and len(instr.args) == 1
+            and len(instr.outs) == 1
+            and isinstance(instr.args[0], Ref)
+            and self._is_canonical("algebra.mask_select")
+        )
+
+    def _aggr_fused(self, instr: Instr) -> bool:
+        """May this global aggregate consume a chain value directly?"""
+        return (
+            instr.opcode in _AGGR_STATE_OPS
+            and len(instr.args) == 1
+            and len(instr.outs) == 1
+            and isinstance(instr.args[0], Ref)
+            and self._is_canonical(instr.opcode)
+        )
+
+    def _statements(self) -> list[_Statement]:
+        statements: list[_Statement] = []
+        instructions = self.program.instructions
+        uses = self._use_counts()
+        consumers = self._first_consumers()
+        redefined = self._redefined()
+
+        def stateful(index: int, instr: Instr) -> bool:
+            """May ``instr``'s value stay unmaterialized chain state?  Yes
+            when its single consumer is a later same-tag instruction that
+            reads chain state itself (a fused calc op, a mask_select, or
+            a global aggregate)."""
+            out = instr.outs[0]
+            if (
+                uses.get(out, 0) != 1
+                or out in redefined
+                or out in self.program.inputs
+            ):
+                return False
+            consumer = consumers.get(out, -1)
+            if consumer <= index or instructions[consumer].tag != instr.tag:
+                return False
+            target = instructions[consumer]
+            return (
+                self._chainable(target)
+                or self._mask_fused(target)
+                or self._aggr_fused(target)
+            )
+
+        for index, instr in enumerate(instructions):
+            if self.profile:
+                self._emit_plain(instr, statements)
+                continue
+            if self._mask_fused(instr):
+                state = self._chain_states.pop(instr.args[0].name, None)  # type: ignore[union-attr]
+                if state is not None:
+                    positions = f"_p{self._next_chain}"
+                    self._next_chain += 1
+                    target = self._fresh()
+                    self._slot_expr[instr.outs[0]] = target
+                    statements.append(
+                        _Statement(
+                            f"{positions} = _x_fnz({state.t}, {state.a})",
+                            instr.tag,
+                            instr.opcode,
+                        )
+                    )
+                    statements.append(
+                        _Statement(
+                            f"{target} = _x_moid({positions}, {state.h})",
+                            instr.tag,
+                            instr.opcode,
+                        )
+                    )
+                    self._mask_positions[instr.outs[0]] = (
+                        positions,
+                        state.h,
+                        f"{state.t}.shape[0]",
+                    )
+                    continue
+            if self._aggr_fused(instr):
+                state = self._chain_states.pop(instr.args[0].name, None)  # type: ignore[union-attr]
+                if state is not None:
+                    target = self._fresh()
+                    self._slot_expr[instr.outs[0]] = target
+                    statements.append(
+                        _Statement(
+                            f"{target} = {_AGGR_STATE_OPS[instr.opcode]}"
+                            f"({state.t}, {state.a})",
+                            instr.tag,
+                            instr.opcode,
+                        )
+                    )
+                    continue
+            if (
+                instr.opcode == "algebra.projection"
+                and len(instr.args) == 2
+                and len(instr.outs) == 1
+                and isinstance(instr.args[0], Ref)
+                and isinstance(instr.args[1], Ref)
+                and instr.args[0].name in self._mask_positions
+                and self._is_canonical("algebra.projection")
+            ):
+                positions, hseq, srclen = self._mask_positions[instr.args[0].name]
+                cand = self._slot_expr[instr.args[0].name]
+                source = self._slot_expr[instr.args[1].name]
+                target = self._fresh()
+                self._slot_expr[instr.outs[0]] = target
+                statements.append(
+                    _Statement(
+                        f"{target} = _x_prj({cand}, {source}, {positions}, "
+                        f"{hseq}, {srclen}, {self._fn('algebra.projection')})",
+                        instr.tag,
+                        instr.opcode,
+                    )
+                )
+                continue
+            if not self._chainable(instr):
+                self._emit_plain(instr, statements)
+                continue
+            operands = [self._operand(arg, instr, statements) for arg in instr.args]
+            value = self._emit_chain_op(instr, operands, statements)
+            if stateful(index, instr):
+                self._chain_states[instr.outs[0]] = value
+                self.fused_count += 1
+            else:
+                family = _CHAIN_OPS[instr.opcode][0]
+                mat = "_x_mfa" if family in _FROM_ARRAY_FAMILIES else "_x_mbt"
+                target = self._fresh()
+                statements.append(
+                    _Statement(
+                        f"{target} = {mat}({value.t}, {value.a}, {value.h})",
+                        instr.tag,
+                        instr.opcode,
+                    )
+                )
+                self._slot_expr[instr.outs[0]] = target
+        return statements
+
+    def emit(self) -> tuple[str, str]:
+        """The ``_fast`` and ``_traced`` function sources."""
+        params = []
+        for index, name in enumerate(self.program.inputs):
+            ident = f"i{index}"
+            params.append(ident)
+            self._slot_expr[name] = ident
+        statements = self._statements()
+        returns = (
+            "return (" + ", ".join(self._slot_expr[out] for out in self.program.outputs)
+            + ("," if len(self.program.outputs) == 1 else "")
+            + ")"
+        )
+
+        fast = [f"def _fast({', '.join(params)}):"]
+        for statement in statements:
+            fast.append(f"    {statement.line}")
+        fast.append(f"    {returns}")
+
+        traced = [f"def _traced({', '.join(params + ['_prof'])}):"]
+        if self.profile:
+            for statement in statements:
+                traced.append("    _t = _pc()")
+                traced.append(f"    {statement.line}")
+                traced.append(
+                    f"    _prof.record({statement.tag!r}, "
+                    f"{statement.opcode!r}, _pc() - _t)"
+                )
+        else:
+            index = 0
+            while index < len(statements):
+                tag = statements[index].tag
+                traced.append("    _t = _pc()")
+                while index < len(statements) and statements[index].tag == tag:
+                    traced.append(f"    {statements[index].line}")
+                    index += 1
+                traced.append(
+                    f"    _prof.record({tag!r}, {FUSED_OPCODE!r}, _pc() - _t)"
+                )
+        traced.append(f"    {returns}")
+        return "\n".join(fast), "\n".join(traced)

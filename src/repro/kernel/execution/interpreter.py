@@ -11,21 +11,20 @@ of its operands.
 
 from __future__ import annotations
 
-import importlib
 import time
 from typing import Callable, Mapping
 
 from repro.errors import ExecutionError, UnknownInstructionError
-
-from repro.kernel.algebra import aggregate, calc, project, setops
-
-# The algebra package re-exports functions named like its submodules
-# (``group``, ``join``, ...), so fetch the submodules via importlib rather
-# than attribute access on the package.
-group_mod = importlib.import_module("repro.kernel.algebra.group")
-join_mod = importlib.import_module("repro.kernel.algebra.join")
-select_mod = importlib.import_module("repro.kernel.algebra.select")
-sort_mod = importlib.import_module("repro.kernel.algebra.sort")
+from repro.kernel.algebra import (
+    aggregate,
+    calc,
+    group as group_mod,
+    join as join_mod,
+    project,
+    select as select_mod,
+    setops,
+    sort as sort_mod,
+)
 from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT
 from repro.kernel.execution.profiler import Profiler
@@ -150,6 +149,17 @@ def known_opcodes() -> frozenset[str]:
     return frozenset(_REGISTRY)
 
 
+def kernel_registry() -> Mapping[str, Callable]:
+    """The built-in opcode → kernel-function table (read-only view).
+
+    The compiled backend (:mod:`repro.kernel.execution.compiled`)
+    specializes exactly this surface; sharing the table is what makes the
+    ``known_opcodes()`` parity between the two backends structural rather
+    than maintained by hand.
+    """
+    return _REGISTRY
+
+
 class Interpreter:
     """Executes programs over a slot environment.
 
@@ -200,14 +210,19 @@ class Interpreter:
                 args.append(operand.value)
             else:  # pragma: no cover - defensive
                 raise ExecutionError(f"bad operand {operand!r}")
-        start = time.perf_counter()
-        try:
-            result = fn(*args)
-        except Exception as exc:
-            raise ExecutionError(f"{instr!r} failed: {exc}") from exc
-        elapsed = time.perf_counter() - start
-        if profiler is not None:
-            profiler.record(instr.tag, instr.opcode, elapsed)
+        if profiler is None:
+            # Unprofiled firings skip the two perf_counter() calls too.
+            try:
+                result = fn(*args)
+            except Exception as exc:
+                raise ExecutionError(f"{instr!r} failed: {exc}") from exc
+        else:
+            start = time.perf_counter()
+            try:
+                result = fn(*args)
+            except Exception as exc:
+                raise ExecutionError(f"{instr!r} failed: {exc}") from exc
+            profiler.record(instr.tag, instr.opcode, time.perf_counter() - start)
         if len(instr.outs) == 1:
             env[instr.outs[0]] = result
         else:

@@ -37,6 +37,9 @@ COUNTER_DEAD_LETTERS = "dead_letter_batches"
 COUNTER_WORKER_ERRORS = "worker_errors"
 COUNTER_TUPLES_CONSUMED = "tuples_consumed"
 COUNTER_ROWS_EMITTED = "rows_emitted"
+#: Programs the compiled backend handed to the interpreter instead
+#: (unsupported opcode — see kernel.execution.backends).
+COUNTER_COMPILED_FALLBACKS = "compiled_fallbacks"
 
 
 @dataclass

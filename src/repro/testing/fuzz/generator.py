@@ -613,12 +613,14 @@ def build_engine(
     workers: int = 1,
     fragment_sharing: bool = True,
     verify_plans: bool = False,
+    backend: str = "interpreted",
 ) -> DataCellEngine:
     """A fresh engine holding the query's streams and (loaded) tables."""
     engine = DataCellEngine(
         verify_plans=verify_plans,
         workers=workers,
         fragment_sharing=fragment_sharing,
+        backend=backend,
     )
     for name, cols in query.streams.items():
         engine.create_stream(name, cols)

@@ -14,9 +14,12 @@ window is compared across them:
 * ``incremental-chunked`` — the same plan driven through
   ``step_chunked(m)`` (single-stream count-based sliding only).
 
-Configurable axes (workers, fragment sharing, feed chunking, lockcheck)
-shake the concurrency and caching layers with the *same* query; results
-must be invariant.  The ``lockcheck`` axis additionally runs the engine
+Configurable axes (workers, fragment sharing, feed chunking, lockcheck,
+execution backend) shake the concurrency, caching, and compilation
+layers with the *same* query; results must be invariant.  The
+``backend`` axis runs the whole engine on the compiled backend
+(DESIGN.md §13), making every leg a differential test of compiled vs
+reference execution.  The ``lockcheck`` axis additionally runs the engine
 under :mod:`repro.testing.lockcheck` wrappers and reports a
 ``lockorder`` divergence when the observed acquisition order escapes
 the static lock-order graph.  Window rows are compared as multisets with float tolerance;
@@ -55,6 +58,7 @@ class OracleConfig:
     step_chunk: Optional[int] = None  # m for step_chunked (chunk_ok only)
     float_tol: float = 1e-6
     lockcheck: bool = False  # run under ObservedLock, assert lock order
+    backend: str = "interpreted"  # engine execution backend for all legs
 
     def to_json(self) -> dict:
         return {
@@ -65,6 +69,7 @@ class OracleConfig:
             "step_chunk": self.step_chunk,
             "float_tol": self.float_tol,
             "lockcheck": self.lockcheck,
+            "backend": self.backend,
         }
 
     @staticmethod
@@ -77,6 +82,9 @@ class OracleConfig:
             step_chunk=data.get("step_chunk"),
             float_tol=data.get("float_tol", 1e-6),
             lockcheck=data.get("lockcheck", False),
+            # Pre-backend reproducers carry no "backend" key and replay
+            # on the interpreter, exactly as they originally ran.
+            backend=data.get("backend", "interpreted"),
         )
 
     def describe(self) -> str:
@@ -89,6 +97,8 @@ class OracleConfig:
             parts.append("chunked-feed")
         if self.lockcheck:
             parts.append("lockcheck")
+        if self.backend != "interpreted":
+            parts.append(f"backend={self.backend}")
         return " ".join(parts)
 
 
@@ -236,7 +246,10 @@ def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResu
         sysx_query = systemx.submit(query.sql)
 
     engine = build_engine(
-        query, workers=config.workers, fragment_sharing=config.fragment_sharing
+        query,
+        workers=config.workers,
+        fragment_sharing=config.fragment_sharing,
+        backend=config.backend,
     )
     chunk_batches: list = []
     try:

@@ -11,9 +11,11 @@ two integers printed in the banner.  Each iteration:
 2. lints the rewritten plan (:mod:`repro.analysis.lint`) — the fuzzer
    doubles as a free corpus for the static verifier;
 3. runs the four-way oracle under randomly drawn execution axes
-   (workers, fragment sharing, feed chunking, ``step_chunked``, and a
+   (workers, fragment sharing, feed chunking, ``step_chunked``, a
    ``lockcheck`` axis that replays observed lock acquisitions against
-   the static lock order — always on under ``--lockcheck``);
+   the static lock order — always on under ``--lockcheck`` — and a
+   ``backend`` axis that runs the engine on the compiled execution
+   backend — forceable via ``--backend compiled``);
 4. checks one metamorphic relation (rotating through
    :data:`~repro.testing.fuzz.metamorphic.RELATIONS`).
 
@@ -62,6 +64,7 @@ class FuzzSession:
         lint: bool = True,
         vary_axes: bool = True,
         lockcheck: bool = False,
+        backend: Optional[str] = None,
         max_failures: int = 5,
         shrink_runs: int = 60,
         out: Optional[TextIO] = None,
@@ -74,6 +77,8 @@ class FuzzSession:
         self.lint = lint
         self.vary_axes = vary_axes
         self.lockcheck = lockcheck
+        #: Forced execution backend; None leaves it to the random axis.
+        self.backend = backend
         self.max_failures = max_failures
         self.shrink_runs = shrink_runs
         self.out = out if out is not None else sys.stdout
@@ -148,10 +153,13 @@ class FuzzSession:
 
     def _config(self, rng, query, feed) -> OracleConfig:
         if not self.vary_axes:
-            return OracleConfig(lockcheck=self.lockcheck)
+            return OracleConfig(
+                lockcheck=self.lockcheck,
+                backend=self.backend or "interpreted",
+            )
         # New axes draw *after* the existing ones so historical
         # (seed, iteration) pairs keep reproducing the same config.
-        return OracleConfig(
+        config = OracleConfig(
             workers=3 if rng.random() < 0.20 else 1,
             fragment_sharing=bool(rng.random() < 0.75),
             duplicate=bool(rng.random() < 0.35),
@@ -167,6 +175,12 @@ class FuzzSession:
             ),
             lockcheck=self.lockcheck or bool(rng.random() < 0.25),
         )
+        # Backend axis: drawn last (see comment above).  A --backend
+        # override skips the draw entirely, keeping older draws aligned.
+        config.backend = self.backend or (
+            "compiled" if rng.random() < 0.45 else "interpreted"
+        )
+        return config
 
     # ------------------------------------------------------------------
     def _failure(
@@ -308,6 +322,10 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
                         help="run every oracle execution under ObservedLock "
                         "wrappers and fail on static/dynamic lock-order "
                         "divergence (otherwise drawn as a random axis)")
+    parser.add_argument("--backend", choices=("interpreted", "compiled"),
+                        default=None,
+                        help="force the engine execution backend for every "
+                        "oracle run (otherwise drawn as a random axis)")
     parser.add_argument("--replay", metavar="FILE", default=None,
                         help="re-execute a .repro.json reproducer and exit")
     args = parser.parse_args(argv)
@@ -336,6 +354,7 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
         lint=not args.no_lint,
         vary_axes=not args.fixed_axes,
         lockcheck=args.lockcheck,
+        backend=args.backend,
         max_failures=args.max_failures,
         shrink_runs=args.shrink_runs,
         out=out,
