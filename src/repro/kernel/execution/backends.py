@@ -21,8 +21,10 @@ alone would.
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Mapping, Optional
 
+from repro.errors import ExecutionError, UnknownInstructionError
 from repro.kernel.execution.compiled import CompiledProgram, ProgramCompiler
 from repro.kernel.execution.interpreter import Interpreter
 from repro.kernel.execution.profiler import COUNTER_COMPILED_FALLBACKS, Profiler
@@ -75,7 +77,14 @@ class CompiledBackend(ExecutionBackend):
     on ``id(program)`` is both safe (the cache entry keeps the program
     alive, preventing id reuse) and free of the cost of structural
     hashing.  A ``None`` entry records a program that failed to compile
-    (unsupported opcode) and permanently runs interpreted.
+    and permanently runs interpreted; the triggering exception is kept on
+    the entry (see :meth:`fallback_error`) so an *unexpected* compiler
+    failure — anything other than the contractual
+    :class:`UnknownInstructionError` / :class:`ExecutionError` — stays
+    diagnosable instead of being indistinguishable from an unsupported
+    opcode.  Unexpected failures additionally emit a :class:`RuntimeWarning`
+    at compile time (results are still correct — the interpreter is
+    authoritative — but silent would hide a compiler bug).
     """
 
     name = "compiled"
@@ -91,8 +100,10 @@ class CompiledBackend(ExecutionBackend):
         self._interp = interpreter if interpreter is not None else Interpreter()
         self._profile = profile
         self._lock = threading.Lock()
-        # id(program) -> (program, compiled-or-None)
-        self._cache: dict[int, tuple[Program, Optional[CompiledProgram]]] = {}  # guarded-by: _lock
+        # id(program) -> (program, compiled-or-None, compile-error-or-None)
+        self._cache: dict[
+            int, tuple[Program, Optional[CompiledProgram], Optional[Exception]]
+        ] = {}  # guarded-by: _lock
 
     def compiled_for(self, program: Program) -> Optional[CompiledProgram]:
         """The memoized compilation of ``program`` (None = fallback)."""
@@ -103,17 +114,39 @@ class CompiledBackend(ExecutionBackend):
                 return entry[1]
         # Compile outside the lock: compilation execs source and may run
         # constant folding; concurrent duplicate compiles are benign.
+        error: Optional[Exception] = None
+        compiled: Optional[CompiledProgram]
         try:
-            compiled: Optional[CompiledProgram] = self._compiler.compile(
-                program, profile=self._profile
+            compiled = self._compiler.compile(program, profile=self._profile)
+        except (UnknownInstructionError, ExecutionError) as exc:
+            # The contractual fallback reasons: an opcode outside the
+            # built-in registry, or a program the verifier rejects.
+            compiled, error = None, exc
+        except Exception as exc:  # pragma: no cover - compiler bug guard
+            # Anything else is a compiler defect, not an unsupported
+            # program.  Fall back (the interpreter is authoritative) but
+            # say so — a silent catch here turns bugs into permanently
+            # slow, undiagnosable programs.
+            compiled, error = None, exc
+            warnings.warn(
+                f"unexpected failure compiling program "
+                f"({len(program.instructions)} instructions); "
+                f"falling back to the interpreter: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
             )
-        except Exception:
-            compiled = None
         with self._lock:
             if len(self._cache) >= _CACHE_CAP:
                 self._cache.clear()
-            self._cache[key] = (program, compiled)
+            self._cache[key] = (program, compiled, error)
         return compiled
+
+    def fallback_error(self, program: Program) -> Optional[Exception]:
+        """Why ``program`` fell back to the interpreter (None = compiled,
+        or never seen)."""
+        with self._lock:
+            entry = self._cache.get(id(program))
+            return entry[2] if entry is not None else None
 
     def run(
         self,

@@ -63,7 +63,10 @@ and falls back to the interpreter per program.
 The compiler only ever sees validated programs: :meth:`compile` runs
 ``Program.validate()`` first, and the engine additionally runs the static
 plan verifier (:func:`repro.analysis.plan_verifier.check_plan`) on every
-plan whose factory selects the compiled backend.
+submitted *incremental* plan when the compiled backend is selected.  The
+reeval baseline's plans are outside the incremental-plan verifier's
+domain; their programs are still validated per program by
+:meth:`compile`.
 """
 
 from __future__ import annotations
@@ -384,6 +387,7 @@ class CompiledProgram:
             if profiler is None:
                 values = self._fast(*args)
             else:
+                snap = profiler.snapshot()
                 values = self._traced(*args, profiler)
         except Exception:
             # Reproduce the canonical per-instruction ExecutionError (the
@@ -391,6 +395,11 @@ class CompiledProgram:
             # functions are pure, so the re-run fails identically — and if
             # it unexpectedly succeeds (a chain check stricter than its
             # kernel), the re-run's result is simply the correct answer.
+            # Roll back the segments the failed traced body already
+            # recorded, so the interpreter re-run does not double-count
+            # the successfully-executed prefix.
+            if profiler is not None:
+                profiler.restore(snap)
             return self._interp.run(self._program, inputs, profiler)
         return dict(zip(self._output_names, values))
 
@@ -815,6 +824,15 @@ class _Emitter:
             if self.profile:
                 self._emit_plain(instr, statements)
                 continue
+            # Slot redefinition is legal (Program.validate() allows it):
+            # any write invalidates a fused-mask registration under the
+            # same name, else a later projection through the redefined
+            # slot would index with the *old* mask's positions.  The
+            # fused-mask branch below re-registers its own output; a
+            # self-redefining projection (``x = projection(x, src)``)
+            # merely loses the specialization and takes the kernel path.
+            for out in instr.outs:
+                self._mask_positions.pop(out, None)
             if self._mask_fused(instr):
                 state = self._chain_states.pop(instr.args[0].name, None)  # type: ignore[union-attr]
                 if state is not None:

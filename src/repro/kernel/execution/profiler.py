@@ -134,6 +134,26 @@ class Profiler:
                 "counters": dict(self.counters),
             }
 
+    def restore(self, snap: dict[str, dict]) -> None:
+        """Replace all timings/counters with a prior :meth:`snapshot`.
+
+        Error-path rollback: the compiled backend snapshots before running
+        a traced program and restores on failure, so the segments recorded
+        by the partially-executed fused body are not double-counted when
+        the interpreter re-run records the whole program again.  The
+        caller must own the profiler for the snapshot-restore span (true
+        for per-firing profilers; merging happens after the firing).
+        """
+        with self._lock:
+            self.by_tag.clear()
+            self.by_tag.update(snap["tags"])
+            self.by_opcode.clear()
+            self.by_opcode.update(snap["opcodes"])
+            self.calls.clear()
+            self.calls.update(snap["calls"])
+            self.counters.clear()
+            self.counters.update(snap["counters"])
+
     def snapshot_flat(self) -> dict[str, float]:
         """Deprecated: the pre-structured flat view (tags ∪ counters).
 

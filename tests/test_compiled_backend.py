@@ -32,6 +32,7 @@ from repro.kernel.execution import (
     known_opcodes,
     make_backend,
 )
+from repro.kernel.execution.compiled import FUSED_OPCODE
 from repro.kernel.execution.profiler import COUNTER_COMPILED_FALLBACKS
 
 from conftest import int_bat
@@ -334,6 +335,56 @@ class TestSpecializedFusion:
             compile_program(program).run(dict(inputs))
         assert str(interp_err.value) == str(compiled_err.value)
 
+    def test_mask_slot_redefinition_invalidates_positions(self):
+        # The mask_select output slot is legally redefined (here by a
+        # second, unfused mask_select); the later projection must read the
+        # *redefined* candidate list, not the stale fused positions.
+        program = Program(inputs=("x", "m2", "src"), outputs=("out",))
+        program.emit("calc.<", [Ref("x"), Lit(3)], ["m1"])
+        program.emit("algebra.mask_select", [Ref("m1")], ["cand"])
+        program.emit("algebra.mask_select", [Ref("m2")], ["cand"])
+        program.emit("algebra.projection", [Ref("cand"), Ref("src")], ["out"])
+        run_both(
+            program,
+            {
+                "x": int_bat([1, 2, 3, 4, 5]),
+                "m2": bit_bat([0, 1, 0, 1, 0]),
+                "src": int_bat([10, 20, 30, 40, 50]),
+            },
+        )
+
+    def test_mask_slot_redefined_by_non_mask_write(self):
+        # Redefinition through an arbitrary opcode (not another
+        # mask_select) must equally drop the fused-positions registration.
+        program = Program(inputs=("x", "c2", "src"), outputs=("out",))
+        program.emit("calc.<", [Ref("x"), Lit(3)], ["m1"])
+        program.emit("algebra.mask_select", [Ref("m1")], ["cand"])
+        program.emit("bat.materialize", [Ref("c2")], ["cand"])
+        program.emit("algebra.projection", [Ref("cand"), Ref("src")], ["out"])
+        run_both(
+            program,
+            {
+                "x": int_bat([1, 2, 3, 4, 5]),
+                "c2": oid_bat([2, 4]),
+                "src": int_bat([10, 20, 30, 40, 50]),
+            },
+        )
+
+    def test_self_redefining_projection_stays_correct(self):
+        # ``cand = projection(cand, src)`` reads the slot it redefines:
+        # the specialization is skipped, the kernel path must be taken.
+        program = Program(inputs=("x", "src"), outputs=("cand",))
+        program.emit("calc.<", [Ref("x"), Lit(3)], ["m1"])
+        program.emit("algebra.mask_select", [Ref("m1")], ["cand"])
+        program.emit("algebra.projection", [Ref("cand"), Ref("src")], ["cand"])
+        run_both(
+            program,
+            {
+                "x": int_bat([1, 2, 3, 4, 5]),
+                "src": int_bat([10, 20, 30, 40, 50]),
+            },
+        )
+
     @pytest.mark.parametrize(
         "opcode", ["aggr.sum", "aggr.count", "aggr.min", "aggr.max", "aggr.avg"]
     )
@@ -432,6 +483,23 @@ class TestFallback:
         assert first is not None
         assert backend.compiled_for(program) is first
 
+    def test_fallback_error_recorded_on_cache_entry(self):
+        backend = CompiledBackend(interpreter=self._ext_interpreter())
+        program = self._ext_program()
+        assert backend.compiled_for(program) is None
+        assert isinstance(backend.fallback_error(program), UnknownInstructionError)
+
+    def test_fallback_error_none_for_compiled_program(self):
+        backend = CompiledBackend()
+        program = Program(inputs=("x",), outputs=("y",))
+        program.emit("bat.id", [Ref("x")], ["y"])
+        assert backend.compiled_for(program) is not None
+        assert backend.fallback_error(program) is None
+        # Never-seen programs report no error either.
+        unseen = Program(inputs=("x",), outputs=("y",))
+        unseen.emit("bat.id", [Ref("x")], ["y"])
+        assert backend.fallback_error(unseen) is None
+
 
 class TestProfilingSemantics:
     def _program(self):
@@ -460,6 +528,38 @@ class TestProfilingSemantics:
         compile_program(program, profile=True).run(dict(inputs), compiled_prof)
         assert dict(interp_prof.calls) == dict(compiled_prof.calls)
         assert set(interp_prof.by_opcode) == set(compiled_prof.by_opcode)
+
+    def test_error_path_does_not_double_count(self):
+        # The traced variant records its first (main-tag) segment before
+        # the merge-tag instruction fails; the interpreter re-run must not
+        # stack on top of that partial recording — profiler state is
+        # rolled back first, so per-opcode calls match a pure interpreter
+        # error run and no fused pseudo-opcode survives.
+        program = Program(inputs=("x",), outputs=("y",))
+        program.emit("calc.+", [Ref("x"), Lit(1)], ["a"])
+        program.emit("calc.not", [Ref("a")], ["y"], tag=TAG_MERGE)
+        inputs = {"x": int_bat(INTS)}
+        interp_prof, compiled_prof = Profiler(), Profiler()
+        with pytest.raises(ExecutionError):
+            Interpreter().run(program, dict(inputs), interp_prof)
+        with pytest.raises(ExecutionError):
+            compile_program(program).run(dict(inputs), compiled_prof)
+        assert FUSED_OPCODE not in compiled_prof.calls
+        assert dict(compiled_prof.calls) == dict(interp_prof.calls)
+
+    def test_error_path_rollback_preserves_prior_records(self):
+        # Rollback restores the snapshot, not an empty profiler: records
+        # that predate the failing run must survive.
+        program = Program(inputs=("x",), outputs=("y",))
+        program.emit("calc.+", [Ref("x"), Lit(1)], ["a"])
+        program.emit("calc.not", [Ref("a")], ["y"], tag=TAG_MERGE)
+        profiler = Profiler()
+        profiler.record("main", "warmup.op", 1.0)
+        profiler.count("firings", 2)
+        with pytest.raises(ExecutionError):
+            compile_program(program).run({"x": int_bat(INTS)}, profiler)
+        assert profiler.calls["warmup.op"] == 1
+        assert profiler.counter("firings") == 2
 
     def test_no_profiler_runs_fast_variant(self):
         program = self._program()
