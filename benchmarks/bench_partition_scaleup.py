@@ -1,0 +1,271 @@
+"""Partition scale-up — key-partitioned multi-process sharding (DESIGN.md §14).
+
+One stream hash-partitioned on its key column, one continuous query,
+swept over ``P`` shard workers.  Two query shapes bracket the merge
+taxonomy:
+
+* ``grouped`` — Q1-style grouped aggregation whose GROUP BY includes the
+  partition key.  Merge-free (``concat`` route): each partition owns its
+  keys outright, so this is the embarrassingly-parallel best case.
+* ``global`` — a global sum/count/avg with no grouping.  Every partition
+  computes partials and the coordinator runs the synthesized
+  re-aggregation merge per window (``re-aggregate`` route); the reported
+  merge share is the price of that final step.
+
+Reported per shape × P: end-to-end wall for the feed loop, tuple
+throughput, speedup vs the in-process ``P=1`` baseline, and the fraction
+of response time spent in the coordinator merge.  Every partitioned run
+is cross-checked window-for-window against the ``P=1`` results (sorted
+rows, float-tolerant) before any number is reported.
+
+**Host caveat.** Shard workers are real OS processes; wall-clock speedup
+requires real cores.  On a single-core host (the CI container: ``nproc``
+= 1) the sweep still exercises the full shm + merge machinery but the
+workers time-slice one core, so speedup ≤ 1 and the run documents
+sharding *overhead*, not scale-up.  The speedup floor below is therefore
+gated on ``os.cpu_count()``: ≥ 3x at P=4 is asserted only when at least
+4 cores are present; otherwise the invariant degrades to
+results-equality plus a sanity floor that catches pathological IPC
+regressions.  EXPERIMENTS.md records both regimes.
+
+Runs standalone too::
+
+    python benchmarks/bench_partition_scaleup.py [--smoke]
+
+``--smoke`` is the CI mode: a seconds-scale sweep over P ∈ {1, 2}.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+
+from repro import DataCellEngine
+from repro.bench import report
+
+WINDOW = 16_384
+WINDOWS = 8
+KEYS = 96
+PARTITION_COUNTS = (1, 2, 4)
+
+SMOKE_WINDOW = 2_048
+SMOKE_WINDOWS = 4
+SMOKE_PARTITIONS = (1, 2)
+
+#: Asserted only with >= 4 physical cores (see module docstring).
+MIN_SPEEDUP_4P = 3.0
+MIN_SPEEDUP_4P_SMOKE = 1.2
+#: Single-core sanity floor: sharding may cost, but not this much.
+MIN_SPEEDUP_STARVED = 0.02
+
+GROUPED_SQL = (
+    "SELECT k, sum(v) AS total, count(*) AS n "
+    "FROM stream [RANGE {window} SLIDE {window}] "
+    "WHERE v > 5 GROUP BY k"
+)
+GLOBAL_SQL = (
+    "SELECT sum(v) AS total, count(*) AS n, avg(x) AS m "
+    "FROM stream [RANGE {window} SLIDE {window}]"
+)
+SHAPES = [("grouped", GROUPED_SQL), ("global", GLOBAL_SQL)]
+
+
+def _workload(total: int, seed: int = 23) -> list[tuple]:
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, KEYS, total)
+    values = rng.integers(0, 1_000, total)
+    xs = rng.uniform(-100.0, 100.0, total)
+    return [
+        (int(k), int(v), float(x)) for k, v, x in zip(keys, values, xs)
+    ]
+
+
+def run_shape(
+    sql_template: str,
+    partitions: int,
+    window: int,
+    windows: int,
+    rows: list[tuple],
+) -> dict:
+    """One shape × one P: feed ``windows`` tumbling windows, time the loop."""
+    engine = DataCellEngine(partitions=partitions)
+    try:
+        engine.create_stream(
+            "stream",
+            [("k", "int"), ("v", "int"), ("x", "float")],
+            partition_by="k" if partitions > 1 else None,
+        )
+        query = engine.submit(sql_template.format(window=window))
+        start = time.perf_counter()
+        for index in range(windows):
+            engine.feed("stream", rows=rows[index * window:(index + 1) * window])
+            engine.run_until_idle()
+        wall = time.perf_counter() - start
+        batches = query.results()
+        if len(batches) != windows:
+            raise AssertionError(
+                f"P={partitions}: {len(batches)} windows fired, expected {windows}"
+            )
+        merge = sum(b.breakdown.get("shard_merge", 0.0) for b in batches)
+        response = sum(b.response_seconds for b in batches) or 1.0
+        return {
+            "wall": wall,
+            "rows": [b.rows() for b in batches],
+            "tuples": window * windows,
+            "merge_share": merge / response,
+        }
+    finally:
+        engine.close()
+
+
+def _windows_equal(left: list, right: list) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        for x, y in zip(sorted(a), sorted(b)):
+            if len(x) != len(y):
+                return False
+            for u, w in zip(x, y):
+                if isinstance(u, float) or isinstance(w, float):
+                    if not math.isclose(float(u), float(w), rel_tol=1e-9, abs_tol=1e-9):
+                        return False
+                elif u != w:
+                    return False
+    return True
+
+
+def sweep(
+    window: int = WINDOW,
+    windows: int = WINDOWS,
+    partition_counts: tuple = PARTITION_COUNTS,
+) -> list[tuple]:
+    rows_in = _workload(window * windows)
+    out = []
+    for label, sql in SHAPES:
+        baseline = None
+        for partitions in partition_counts:
+            run = run_shape(sql, partitions, window, windows, rows_in)
+            if baseline is None:
+                baseline = run
+            elif not _windows_equal(baseline["rows"], run["rows"]):
+                raise AssertionError(
+                    f"{label}: P={partitions} windows diverge from P=1"
+                )
+            out.append(
+                (
+                    label,
+                    partitions,
+                    run["wall"],
+                    run["tuples"] / run["wall"],
+                    baseline["wall"] / run["wall"],
+                    run["merge_share"],
+                )
+            )
+    return out
+
+
+def check_rows(
+    rows: list[tuple],
+    min_speedup_4p: float = MIN_SPEEDUP_4P,
+) -> None:
+    """Results already proved equal in :func:`sweep`; gate the speedups."""
+    cores = os.cpu_count() or 1
+    by_key = {(r[0], r[1]): r for r in rows}
+    top_p = max(p for __, p in by_key)
+    grouped = by_key[("grouped", top_p)]
+    if cores >= top_p:
+        assert grouped[4] >= min_speedup_4p, (
+            f"grouped P={top_p} speedup {grouped[4]:.2f}x < {min_speedup_4p}x "
+            f"on a {cores}-core host"
+        )
+    else:
+        # Core-starved host: document, don't fail — but a speedup below
+        # the sanity floor means IPC/merge went pathological.
+        assert grouped[4] >= MIN_SPEEDUP_STARVED, (
+            f"grouped P={top_p} speedup {grouped[4]:.3f}x is below the "
+            f"sanity floor even for a {cores}-core host"
+        )
+        print(
+            f"\nNOTE: host has {cores} core(s) < P={top_p}; speedup floor "
+            f"{min_speedup_4p}x not asserted (workers time-slice one core). "
+            "Numbers document sharding overhead, not scale-up."
+        )
+    for label, __ in SHAPES:
+        assert by_key[(label, top_p)][5] < 0.9, (
+            f"{label}: merge dominates response time"
+        )
+
+
+HEADERS = ["shape", "P", "wall s", "tuples/s", "speedup", "merge share"]
+
+
+def _report(
+    rows: list[tuple],
+    name: str = "partition_scaleup",
+    window: int = WINDOW,
+    windows: int = WINDOWS,
+) -> None:
+    cores = os.cpu_count() or 1
+    report(
+        name,
+        "Partition scale-up — shard workers × merge route "
+        f"(|W|={window} tumbling, {windows} windows, {KEYS} keys, "
+        f"{cores}-core host; speedup vs in-process P=1; merge share = "
+        "coordinator merge / total response time)",
+        HEADERS,
+        [
+            (
+                label,
+                partitions,
+                f"{wall:.4f}",
+                int(tput),
+                f"{speedup:.2f}x",
+                f"{merge_share:.3f}",
+            )
+            for label, partitions, wall, tput, speedup, merge_share in rows
+        ],
+    )
+
+
+class TestPartitionScaleup:
+    def test_sweep_smoke(self, benchmark):
+        rows = sweep(SMOKE_WINDOW, SMOKE_WINDOWS, SMOKE_PARTITIONS)
+        _report(rows, "partition_scaleup_smoke", SMOKE_WINDOW, SMOKE_WINDOWS)
+        check_rows(rows, min_speedup_4p=MIN_SPEEDUP_4P_SMOKE)
+        workload = _workload(SMOKE_WINDOW * SMOKE_WINDOWS)
+        benchmark.pedantic(
+            lambda: run_shape(
+                GROUPED_SQL, 2, SMOKE_WINDOW, SMOKE_WINDOWS, workload
+            ),
+            rounds=2,
+            iterations=1,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI sweep (P in {1,2}, scaled-down windows)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = sweep(SMOKE_WINDOW, SMOKE_WINDOWS, SMOKE_PARTITIONS)
+        _report(rows, "partition_scaleup_smoke", SMOKE_WINDOW, SMOKE_WINDOWS)
+        check_rows(rows, min_speedup_4p=MIN_SPEEDUP_4P_SMOKE)
+    else:
+        rows = sweep()
+        _report(rows)
+        check_rows(rows)
+    print("\npartition scale-up invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

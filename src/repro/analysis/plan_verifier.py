@@ -483,3 +483,37 @@ def check_plan(plan: IncrementalPlan, schemas: Optional[SchemaMap] = None) -> Re
             f"incremental plan failed static verification:\n{rendered}"
         )
     return report
+
+
+def verify_program(
+    program: Program,
+    input_atoms: Optional[Mapping[str, Optional[Atom]]] = None,
+    subject: str = "program",
+) -> Report:
+    """Run the program-level passes over one standalone program.
+
+    The partitioned-execution layer synthesizes a *merge* program per
+    sharded query (compiled from SQL over the ``__partials`` relation,
+    DESIGN.md §14) and verifies it here before the first window fires:
+    dataflow (every read slot defined, outputs produced), legal cost
+    tags, the forbidden-opcode list, and full atom type inference from
+    the partials schema.  Never raises; returns the report.
+    """
+    report = Report(subject=subject)
+    _run_program_passes(report, program, subject, input_atoms, _LEGAL_TAGS)
+    return report
+
+
+def check_program(
+    program: Program,
+    input_atoms: Optional[Mapping[str, Optional[Atom]]] = None,
+    subject: str = "program",
+) -> Report:
+    """:func:`verify_program`, raising on errors (submit-time gate)."""
+    report = verify_program(program, input_atoms, subject)
+    if not report.ok:
+        rendered = "\n".join(d.render() for d in report.errors())
+        raise PlanVerificationError(
+            f"{subject} failed static verification:\n{rendered}"
+        )
+    return report

@@ -6,7 +6,8 @@ files into streams, and inspect results.
 
 Commands (case-insensitive keywords; one per line)::
 
-    CREATE STREAM name (col type, ...)     declare a stream
+    CREATE STREAM name (col type, ...) [PARTITION BY col]
+                                           declare a (partitioned) stream
     CREATE TABLE name (col type, ...)      create a stored table
     SUBMIT [REEVAL] <select ...>           register a continuous query
     FEED stream FROM path.csv [CHUNK n]    replay a CSV into a stream
@@ -35,6 +36,12 @@ producers outrun the engine (``fail``, ``block[:timeout]``,
 ``shed-oldest``, ``shed-newest``, ``sample:rate[:seed]`` — see
 docs/OPERATIONS.md).  The ``STATS`` command prints per-stream overload
 counters and per-factory profiler snapshots.
+
+``--partitions P`` enables key-partitioned streams: ``CREATE STREAM ...
+PARTITION BY col`` then hash-routes arriving tuples across P shard
+worker processes and merges each query's per-partition windows back
+exactly (DESIGN.md §14).  With the default ``--partitions 1`` the
+``PARTITION BY`` clause is accepted but execution stays in-process.
 
 ``--backend compiled`` switches the console's engine to the compiled
 execution backend (verified programs specialized into fused callables,
@@ -105,8 +112,11 @@ class Console:
         capacity: Optional[int] = None,
         overflow: Optional[OverflowPolicy] = None,
         backend: str = "interpreted",
+        partitions: int = 1,
     ) -> None:
-        self.engine = DataCellEngine(workers=workers, backend=backend)
+        self.engine = DataCellEngine(
+            workers=workers, backend=backend, partitions=partitions
+        )
         self.capacity = capacity
         self.overflow = overflow
         self.out = out if out is not None else sys.stdout
@@ -149,7 +159,7 @@ class Console:
             self.println(f"fired {fired} window(s)")
             return
         if upper == "QUERIES":
-            for name, query in self.engine._queries.items():
+            for name, query in self._all_queries().items():
                 self.println(
                     f"{name}: [{query.mode}] {query.sql} "
                     f"({len(query.results())} windows)"
@@ -186,14 +196,29 @@ class Console:
                 raise ReproError(f"METRICS takes PROM or JSON, got {rest!r}")
             return
         if upper.startswith("CREATE STREAM "):
-            name, columns = _parse_schema(line[len("CREATE STREAM "):])
+            rest = line[len("CREATE STREAM "):]
+            partition_by = None
+            match = re.search(r"\)\s*PARTITION\s+BY\s+(\w+)\s*$", rest, re.I)
+            if match:
+                partition_by = match.group(1)
+                rest = rest[: match.start() + 1]
+            name, columns = _parse_schema(rest)
             self.engine.create_stream(
-                name, columns, capacity=self.capacity, overflow=self.overflow
+                name,
+                columns,
+                capacity=self.capacity,
+                overflow=self.overflow,
+                partition_by=partition_by,
             )
             suffix = ""
             if self.capacity is not None:
                 policy = self.overflow.describe() if self.overflow else "fail"
                 suffix = f" (capacity {self.capacity}, overflow {policy})"
+            if partition_by is not None:
+                suffix += (
+                    f" (partitioned by {partition_by} across "
+                    f"{self.engine.partitions} partition(s))"
+                )
             self.println(f"stream {name} created{suffix}")
             return
         if upper.startswith("CREATE TABLE "):
@@ -234,6 +259,12 @@ class Console:
         raise ReproError(f"unknown command {line.split()[0]!r} (try HELP)")
 
     # ------------------------------------------------------------------
+    def _all_queries(self) -> dict:
+        """Ordinary and partitioned query handles, by name."""
+        queries: dict = dict(self.engine._queries)
+        queries.update(self.engine._pqueries)
+        return queries
+
     def _feed(self, rest: str) -> None:
         tokens = shlex.split(rest)
         if len(tokens) not in (3, 5) or tokens[1].upper() != "FROM":
@@ -267,7 +298,7 @@ class Console:
         last_only = bool(tokens) and tokens[-1].upper() == "LAST"
         if last_only:
             tokens = tokens[:-1]
-        names = tokens if tokens else list(self.engine._queries)
+        names = tokens if tokens else list(self._all_queries())
         for name in names:
             query = self.engine.query(name)
             batches = query.results()
@@ -414,10 +445,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     capacity: Optional[int] = None
     overflow = None
     backend = "interpreted"
+    partitions = 1
+    known = ("--workers", "--capacity", "--overflow", "--backend", "--partitions")
     while argv and argv[0].startswith("--"):
         flag = argv.pop(0)
         name, __, inline = flag.partition("=")
-        if name not in ("--workers", "--capacity", "--overflow", "--backend"):
+        if name not in known:
             print(f"error: unknown flag {name!r}", file=sys.stderr)
             return 2
         if inline:
@@ -431,6 +464,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             if name == "--workers":
                 workers = int(value)
                 if workers < 1:
+                    raise ValueError
+            elif name == "--partitions":
+                partitions = int(value)
+                if partitions < 1:
                     raise ValueError
             elif name == "--capacity":
                 capacity = int(value)
@@ -460,7 +497,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         print("error: --overflow needs --capacity", file=sys.stderr)
         return 2
     console = Console(
-        workers=workers, capacity=capacity, overflow=overflow, backend=backend
+        workers=workers,
+        capacity=capacity,
+        overflow=overflow,
+        backend=backend,
+        partitions=partitions,
     )
     if argv:
         for path in argv:

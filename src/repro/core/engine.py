@@ -37,6 +37,18 @@ from repro.core.emitter import CollectingEmitter
 from repro.core.factory import FactoryBase, IncrementalFactory, ResultBatch
 from repro.core.overflow import OverflowPolicy
 from repro.core.partials import FragmentCache
+from repro.core.partition import (
+    SEQ_COLUMN,
+    PartitionSpec,
+    VIRTUAL_TICK_US,
+    finish_merge,
+    plan_partition_query,
+    route_columns,
+    scratch_catalog,
+    validate_partition_key,
+    worker_schema,
+)
+from repro.core.windows import TS_COLUMN
 from repro.core.receptor import Receptor
 from repro.core.reevaluate import ReevalFactory
 from repro.core.rewriter import rewrite
@@ -86,6 +98,19 @@ def _as_atom(atom) -> Atom:
 
 def _as_schema(columns: Sequence[tuple[str, object]]) -> Schema:
     return Schema(tuple((name, _as_atom(atom)) for name, atom in columns))
+
+
+@dataclass
+class _PartitionedStream:
+    """Coordinator-side state of one ``PARTITION BY`` stream."""
+
+    spec: PartitionSpec
+    key_atom: Atom
+    #: Tuples routed to each partition so far (skew gauge source).
+    routed: list[int]
+    #: Query names waiting for a real-time window anchor (the first
+    #: arrival timestamp fed after their submit).
+    pending_anchor: set = field(default_factory=set)
 
 
 @dataclass
@@ -156,7 +181,10 @@ class DataCellEngine:
         fragment_sharing: bool = True,
         observability: bool = True,
         backend: str = "interpreted",
+        partitions: int = 1,
     ) -> None:
+        if partitions < 1:
+            raise ReproError("partitions must be >= 1")
         if verify_plans is None:
             flag = os.environ.get("REPRO_VERIFY_PLANS", "")
             verify_plans = flag.strip().lower() in ("1", "true", "yes", "on")
@@ -191,6 +219,24 @@ class DataCellEngine:
         self._diverged_streams: set[str] = set()
         self._query_counter = 0
         self._interp = Interpreter()
+        #: Sharded execution (DESIGN.md §14): ``partitions > 1`` spawns
+        #: one worker process per partition *eagerly* (before any scheduler
+        #: threads exist, so fork stays safe) and enables ``PARTITION BY``
+        #: streams.  With ``partitions=1`` such streams degrade to the
+        #: ordinary in-process path — same results, no worker processes.
+        self.partitions = partitions
+        self._shards = None
+        self._partitioned: dict[str, _PartitionedStream] = {}
+        self._pqueries: dict[str, "PartitionedQuery"] = {}
+        if partitions > 1:
+            from repro.core.shard import ShardSet
+
+            self._shards = ShardSet(
+                partitions,
+                backend=backend,
+                verify_plans=False,  # the coordinator verifies once
+                fragment_sharing=fragment_sharing,
+            )
 
     @property
     def profiler(self):
@@ -211,8 +257,20 @@ class DataCellEngine:
         columns: Sequence[tuple[str, object]],
         capacity: Optional[int] = None,
         overflow: Optional[OverflowPolicy] = None,
+        partition_by: Optional[str] = None,
     ) -> None:
         """Declare a stream with ``[(column, type), ...]``.
+
+        ``partition_by`` names a key column: arriving tuples are
+        hash-routed into ``engine.partitions`` disjoint sub-streams and
+        every query over the stream runs replicated across the shard
+        worker processes (DESIGN.md §14).  With ``partitions=1`` the
+        declaration is accepted but execution stays in-process — the
+        fallback is exact, results never differ.  Float keys are
+        rejected (no deterministic hash); ``capacity``/``overflow`` are
+        applied per partition, so a bounded partitioned stream parks at
+        most ``capacity × partitions × queries`` tuples and shedding
+        policies act on each partition's arrival order independently.
 
         ``capacity`` bounds every basket bound to this stream (per query —
         each continuous query has its own basket, so the worst-case parked
@@ -226,10 +284,27 @@ class DataCellEngine:
         """
         if overflow is not None and capacity is None:
             raise ReproError("an overflow policy needs a capacity")
-        self.catalog.create_stream(name, _as_schema(columns))
+        schema = _as_schema(columns)
+        if partition_by is not None:
+            key_atom = validate_partition_key(schema, partition_by, name)
+        self.catalog.create_stream(name, schema)
         self._stream_baskets[name] = []
         self._stream_fed[name] = 0
         self._stream_limits[name] = (capacity, overflow)
+        if partition_by is not None and self._shards is not None:
+            spec = PartitionSpec(name, partition_by, self.partitions)
+            self._partitioned[name] = _PartitionedStream(
+                spec, key_atom, routed=[0] * self.partitions
+            )
+            self._shards.broadcast(
+                (
+                    "create_stream",
+                    name,
+                    [(c, a.value) for c, a in worker_schema(schema)],
+                    capacity,
+                    overflow,
+                )
+            )
 
     def _new_basket(self, query_name: str, relation: str) -> Basket:
         """A fresh per-query basket honouring the stream's overload knobs."""
@@ -275,6 +350,15 @@ class DataCellEngine:
             raise ReproError(f"unknown mode {mode!r}")
         self._query_counter += 1
         query_name = name or f"q{self._query_counter}"
+        if self._shards is not None and self._partitioned:
+            from repro.sql.parser import parse
+
+            try:
+                scanned = [t.name for t in parse(sql).tables]
+            except ReproError:
+                scanned = []  # let the ordinary path raise the parse error
+            if any(t in self._partitioned for t in scanned):
+                return self._submit_partitioned(sql, mode, query_name)
         planned = optimize(plan_query(sql, self.catalog))
 
         baskets: dict[str, Basket] = {}
@@ -354,6 +438,83 @@ class DataCellEngine:
         self._queries[query_name] = handle
         return handle
 
+    def _submit_partitioned(self, sql: str, mode: str, query_name: str):
+        """Replicate one query across the shard workers (DESIGN.md §14).
+
+        The coordinator classifies the query (concat / merge-sort /
+        re-aggregate), renders per-partition SQL against each worker's
+        private stream, statically verifies both the partition plan and
+        the synthesized merge program, and returns a
+        :class:`~repro.core.shard.PartitionedQuery` handle.
+        """
+        from repro.core.shard import PartitionedQuery
+
+        from repro.sql.parser import parse
+
+        stream = next(
+            t.name for t in parse(sql).tables if t.name in self._partitioned
+        )
+        state = self._partitioned[stream]
+        schema = self.catalog.schema_of(stream)
+        plan = plan_partition_query(sql, schema, state.spec)
+        self._verify_partition_query(plan, schema, mode)
+        anchor = None
+        if plan.flavor == "virtual":
+            # Late submits: the virtual clock already advanced to the
+            # stream's fed count; anchoring at it (not 0) keeps the first
+            # window from closing on historical watermarks.
+            anchor = self._stream_fed[stream] * VIRTUAL_TICK_US
+        part_sql = plan.partition_sql(f"__shard_{query_name}")
+        replies = self._shards.request_all(
+            ("submit", query_name, stream, part_sql, mode, plan.flavor, anchor)
+        )
+        out_names, atom_values = replies[0][1]
+        partials = [(n, Atom(a)) for n, a in zip(out_names, atom_values)]
+        finish_merge(plan, partials, verify=True)
+        partial_names: list[str] = []
+        partial_atoms: list[Atom] = []
+        if plan.merge is None:
+            # Hidden concat-sort helpers ship with every emission but are
+            # dropped after the coordinator's ordering pass.
+            hidden = set(plan.concat_hidden)
+            partial_names = [n for n, __ in partials]
+            partial_atoms = [a for __, a in partials]
+            visible_names = [n for n in partial_names if n not in hidden]
+            visible_atoms = [a for n, a in partials if n not in hidden]
+        else:
+            compiled = plan.merge.compiled
+            atom_of = dict(zip(compiled.output_names, compiled.output_atoms))
+            visible_names = list(plan.merge.visible)
+            visible_atoms = [atom_of[n] for n in visible_names]
+        handle = PartitionedQuery(
+            name=query_name,
+            sql=sql,
+            mode=mode,
+            plan=plan,
+            output_names=visible_names,
+            output_atoms=visible_atoms,
+            partitions=self.partitions,
+            partial_names=partial_names,
+            partial_atoms=partial_atoms,
+        )
+        if plan.flavor == "time":
+            state.pending_anchor.add(query_name)
+        self._pqueries[query_name] = handle
+        return handle
+
+    def _verify_partition_query(self, plan, schema: Schema, mode: str) -> None:
+        """Static checks the coordinator runs so workers never see a plan
+        the P=1 engine would have rejected (workers run verify off)."""
+        if not (self.verify_plans or self.backend == "compiled"):
+            return
+        catalog = scratch_catalog(schema, "__scratch")
+        planned = optimize(plan_query(plan.partition_sql("__scratch"), catalog))
+        if mode == "incremental":
+            from repro.analysis.plan_verifier import check_plan
+
+            rewritten = rewrite(planned)
+            check_plan(rewritten, {plan.alias: dict(worker_schema(schema))})
+
     def _enable_sharing(self, factory: IncrementalFactory, plan) -> None:
         """Register a single-stream factory with the shared fragment cache.
 
@@ -382,6 +543,12 @@ class DataCellEngine:
 
     def remove(self, name: str) -> None:
         """Unregister a continuous query and release its baskets."""
+        if name in self._pqueries:
+            del self._pqueries[name]
+            self._shards.broadcast(("remove", name))
+            for state in self._partitioned.values():
+                state.pending_anchor.discard(name)
+            return
         handle = self._queries.pop(name, None)
         if handle is None:
             return
@@ -391,7 +558,9 @@ class DataCellEngine:
                 if basket in baskets:
                     baskets.remove(basket)
 
-    def query(self, name: str) -> ContinuousQuery:
+    def query(self, name: str):
+        if name in self._pqueries:
+            return self._pqueries[name]
         return self._queries[name]
 
     # ------------------------------------------------------------------
@@ -423,6 +592,8 @@ class DataCellEngine:
             raise CatalogError(f"unknown stream {stream!r}")
         if (rows is None) == (columns is None):
             raise ReproError("feed needs exactly one of rows= or columns=")
+        if stream in self._partitioned:
+            return self._feed_partitioned(stream, rows, columns, timestamps)
         baskets = self._stream_baskets[stream]
         if rows is not None:
             rows = list(rows)
@@ -446,6 +617,91 @@ class DataCellEngine:
         # Advance the stream's global arrival offset even when no query is
         # bound yet: fragment-cache spans of queries submitted later must
         # stay aligned with queries that did see these tuples.
+        self._stream_fed[stream] += count
+        return count
+
+    def _feed_partitioned(
+        self,
+        stream: str,
+        rows: Optional[Iterable[Sequence]],
+        columns: Optional[Mapping[str, Sequence | np.ndarray]],
+        timestamps: Optional[Sequence[int] | np.ndarray],
+    ) -> int:
+        """Hash-route one batch to the shard workers.
+
+        Each tuple additionally carries its global arrival offset
+        (``__seq``) — the workers' virtual clock and the merge layer's
+        tie-breaker.  Missing timestamps default to the arrival offset,
+        exactly the per-basket logical clock the P=1 path would assign.
+        Overflow on bounded partitioned streams is enforced worker-side;
+        a ``Fail`` policy therefore surfaces at the next
+        :meth:`run_until_idle`, not at ``feed`` itself.
+        """
+        from repro.core.shard import as_typed_columns, split_fixed_columns
+
+        state = self._partitioned[stream]
+        schema = self.catalog.schema_of(stream)
+        names = schema.names
+        if rows is not None:
+            rows = list(rows)
+            for row in rows:
+                if len(row) != len(names):
+                    raise ReproError(
+                        f"row arity {len(row)} != schema arity {len(names)}"
+                    )
+            cols: Mapping[str, Sequence | np.ndarray] = {
+                name: [row[i] for row in rows]
+                for i, name in enumerate(names)
+            }
+        else:
+            assert columns is not None
+            if set(columns) != set(names):
+                raise ReproError(
+                    f"feed needs exactly columns {sorted(names)}"
+                )
+            cols = columns
+        typed = as_typed_columns(
+            cols, {name: schema.atom_of(name) for name in names}
+        )
+        lengths = {len(values) for values in typed.values()}
+        if len(lengths) > 1:
+            raise ReproError(f"ragged column feed on {stream!r}")
+        count = lengths.pop() if lengths else 0
+        base = self._stream_fed[stream]
+        seq = np.arange(base, base + count, dtype=np.int64)
+        if timestamps is not None:
+            ts = np.asarray(timestamps, dtype=np.int64)
+            if len(ts) != count:
+                raise ReproError("timestamp column length mismatch")
+        else:
+            ts = seq
+        if count and state.pending_anchor:
+            # First arrival after a real-time query's submit anchors its
+            # window origin in every partition (pipe FIFO: the anchor
+            # lands before this batch's feed message).
+            origin = int(ts[0])
+            for qname in sorted(state.pending_anchor):
+                self._shards.broadcast(("anchor", qname, origin))
+            state.pending_anchor.clear()
+        routes = route_columns(
+            typed, state.spec.key, state.key_atom, self.partitions
+        )
+        watermark = (base + count) * VIRTUAL_TICK_US
+        # Real-time queries: each partition sees only its routed subset,
+        # so the batch's newest timestamp travels to *every* partition as
+        # a punctuation — otherwise a partition the window-closing row
+        # didn't route to would hold its window open forever.  Mirrors
+        # the P=1 watermark (newest arrival timestamp, ``tail[-1]``).
+        ts_watermark = int(ts[-1]) if count else None
+        for p, idx in enumerate(routes):
+            part = {name: typed[name][idx] for name in names}
+            part[SEQ_COLUMN] = seq[idx]
+            part[TS_COLUMN] = ts[idx]
+            fixed, pickled = split_fixed_columns(part)
+            self._shards.feed_partition(
+                p, stream, fixed, pickled, watermark, ts_watermark
+            )
+            state.routed[p] += len(idx)
         self._stream_fed[stream] += count
         return count
 
@@ -473,6 +729,11 @@ class DataCellEngine:
         """
         if stream not in self._stream_baskets:
             raise CatalogError(f"unknown stream {stream!r}")
+        if stream in self._partitioned:
+            # Real-time queries only; the virtual (count) axis advances
+            # with the fed count and ignores user punctuations.
+            self._shards.broadcast(("advance", stream, int(ts)))
+            return
         for basket in self._stream_baskets[stream]:
             basket.advance_watermark(ts)
 
@@ -484,6 +745,11 @@ class DataCellEngine:
         describing the same data as its neighbours' — fragment sharing is
         switched off for it.
         """
+        if not hasattr(query, "baskets"):
+            raise UnsupportedQueryError(
+                "receptors are not supported on partitioned queries; "
+                "feed() the coordinator instead"
+            )
         if isinstance(query.factory, IncrementalFactory):
             query.factory.disable_fragment_sharing()
         return Receptor(
@@ -493,8 +759,25 @@ class DataCellEngine:
         )
 
     def run_until_idle(self) -> int:
-        """Fire all ready factories until quiescence; returns firings."""
-        return self.scheduler.run_until_idle()
+        """Fire all ready factories until quiescence; returns firings.
+
+        With shard workers attached this also pumps them: every worker
+        runs its own scheduler to quiescence (concurrently — the request
+        fans out before any reply is awaited), emitted windows are
+        collected, and every window all partitions have reported is
+        merged here, in window order.
+        """
+        fired = self.scheduler.run_until_idle()
+        if self._shards is not None:
+            fired += self._shards.run()
+            for p, batches in enumerate(self._shards.collect()):
+                for qname, window_index, resp, cols in batches:
+                    handle = self._pqueries.get(qname)
+                    if handle is not None:
+                        handle.offer(p, window_index, resp, cols)
+            for handle in self._pqueries.values():
+                handle.drain(self._interp, self.profiler)
+        return fired
 
     def overload_stats(self) -> dict[str, dict[str, int]]:
         """Per-stream overload summary aggregated over its query baskets.
@@ -543,15 +826,65 @@ class DataCellEngine:
 
     def start(self, poll_interval: float = 0.001) -> None:
         """Run the scheduler in the background (used with receptors)."""
+        if self._pqueries:
+            raise UnsupportedQueryError(
+                "background mode does not pump shard workers; drive "
+                "partitioned queries with run_until_idle()"
+            )
         self.scheduler.start(poll_interval=poll_interval)
 
     def stop(self, drain: bool = True) -> None:
         self.scheduler.stop(drain=drain)
 
     def close(self) -> None:
-        """Stop background work and release the scheduler's worker pool."""
+        """Stop background work and release the scheduler's worker pool.
+
+        Shard workers are shut down gracefully and every outstanding
+        shared-memory segment is unlinked — ``/dev/shm`` holds nothing of
+        this engine's after close (the CI partition job asserts this).
+        """
         self.scheduler.stop(drain=False)
         self.scheduler.close()
+        if self._shards is not None:
+            self._shards.close()
+
+    def partition_stats(self) -> dict:
+        """Partition-execution gauges; ``{}`` unless sharding is active.
+
+        Per stream: tuples ``routed`` to each partition and the relative
+        ``skew`` ``(max - min) / max``.  Per query: the merge ``route``,
+        timestamp ``flavor``, merged ``windows``, and ``lag`` — the
+        window-progress spread across partitions (0 = lockstep).
+        ``workers`` holds each worker engine's profiler counters plus its
+        ``parked`` basket occupancy.  Surfaces in :meth:`metrics` under
+        ``"partition"`` and as ``repro_partition_*`` Prometheus gauges
+        (docs/METRICS.md).
+        """
+        if self._shards is None or not self._partitioned:
+            return {}
+        streams = {}
+        for name, state in self._partitioned.items():
+            top = max(state.routed, default=0)
+            streams[name] = {
+                "key": state.spec.key,
+                "routed": list(state.routed),
+                "skew": (top - min(state.routed)) / top if top else 0.0,
+            }
+        queries = {
+            name: {
+                "route": handle.plan.route,
+                "flavor": handle.plan.flavor,
+                "windows": len(handle.batches),
+                "lag": handle.lag(),
+            }
+            for name, handle in self._pqueries.items()
+        }
+        return {
+            "partitions": self.partitions,
+            "streams": streams,
+            "queries": queries,
+            "workers": self._shards.stats(),
+        }
 
     # ------------------------------------------------------------------
     # one-time queries & introspection

@@ -110,6 +110,25 @@ class FactoryBase:
         """The input baskets feeding this factory (observability hooks)."""
         return ()
 
+    #: Time-based basic-window slicers by stream alias; both factory
+    #: implementations populate this in their constructors.
+    _slicers: dict[str, _TimeSlicer] = {}
+
+    def anchor_time(self, origin: int) -> None:
+        """Pin every time-based slicer's window origin.
+
+        Normally a slicer anchors itself at the first tuple that lands in
+        its basket.  Under partitioned execution each partition sees only
+        a subset of the stream, so per-basket anchoring would misalign
+        window boundaries across partitions; the coordinator broadcasts
+        one shared origin (0 for the virtual count axis, the stream's
+        first arrival timestamp otherwise) before any data arrives.
+        Idempotent: an already-anchored slicer keeps its origin.
+        """
+        for slicer in self._slicers.values():
+            if slicer.origin is None:
+                slicer.origin = origin
+
 
 class IncrementalFactory(FactoryBase):
     """Executes an :class:`IncrementalPlan` over baskets.

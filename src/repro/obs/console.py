@@ -47,6 +47,20 @@ def render_top(engine) -> str:
         f"worker_errors={counters['worker_errors']}"
     )
     lines.append(summary)
+    partition = metrics.get("partition")
+    if partition:
+        for stream, stats in sorted(partition["streams"].items()):
+            routed = "/".join(str(n) for n in stats["routed"])
+            lines.append(
+                f"partitions[{stream}] key={stats['key']} "
+                f"routed={routed} skew={stats['skew']:.3f}"
+            )
+        for qname, stats in sorted(partition["queries"].items()):
+            lines.append(
+                f"partitioned {qname}: route={stats['route']} "
+                f"flavor={stats['flavor']} windows={stats['windows']} "
+                f"lag={stats['lag']}"
+            )
     latency = metrics.get("latency")
     if latency is not None:
         lines.append(

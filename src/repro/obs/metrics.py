@@ -63,6 +63,7 @@ def collect_metrics(engine) -> dict:
             "queries": len(engine._queries),
             "streams": len(engine._stream_baskets),
             "workers": engine.scheduler.workers,
+            "partitions": getattr(engine, "partitions", 1),
             "observability": obs is not None,
         },
         "counters": counters,
@@ -71,6 +72,11 @@ def collect_metrics(engine) -> dict:
         "streams": engine.overload_stats(),
         "fragment_cache": engine.fragment_cache.stats(),
     }
+    partition = getattr(engine, "partition_stats", None)
+    if partition is not None:
+        stats = partition()
+        if stats:
+            metrics["partition"] = stats
     if obs is not None:
         metrics["latency"] = obs.latency.snapshot()
         metrics["firing_duration"] = obs.firing_duration.snapshot()
@@ -161,6 +167,9 @@ def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> s
         "emit_retries": "Emitter delivery retries.",
         "dead_letter_batches": "Result batches routed to dead letter.",
         "worker_errors": "Factory firing failures seen by the scheduler.",
+        "tuples_consumed": "Tuples consumed by firings.",
+        "rows_emitted": "Result rows emitted by firings.",
+        "compiled_fallbacks": "Programs the compiled backend handed back.",
     }
     for counter, help_text in counter_help.items():
         name = f"repro_{counter}_total"
@@ -191,6 +200,58 @@ def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> s
         w.header(name, "gauge", help_text)
         for stream, stats in sorted(metrics["streams"].items()):
             w.sample(name, stats[key], stream=stream)
+
+    partition = metrics.get("partition")
+    if partition:
+        w.header(
+            "repro_partition_routed_total",
+            "counter",
+            "Tuples hash-routed to each partition of a stream.",
+        )
+        for stream, stats in sorted(partition["streams"].items()):
+            for p, routed in enumerate(stats["routed"]):
+                w.sample(
+                    "repro_partition_routed_total",
+                    routed,
+                    stream=stream,
+                    partition=str(p),
+                )
+        w.header(
+            "repro_partition_skew",
+            "gauge",
+            "Routing skew per stream: (max - min) / max tuples routed.",
+        )
+        for stream, stats in sorted(partition["streams"].items()):
+            w.sample("repro_partition_skew", stats["skew"], stream=stream)
+        w.header(
+            "repro_partition_lag_windows",
+            "gauge",
+            "Window-progress spread across a query's partitions.",
+        )
+        for qname, stats in sorted(partition["queries"].items()):
+            w.sample("repro_partition_lag_windows", stats["lag"], query=qname)
+        w.header(
+            "repro_partition_merged_windows_total",
+            "counter",
+            "Windows merged by the coordinator per partitioned query.",
+        )
+        for qname, stats in sorted(partition["queries"].items()):
+            w.sample(
+                "repro_partition_merged_windows_total",
+                stats["windows"],
+                query=qname,
+            )
+        w.header(
+            "repro_partition_worker_parked",
+            "gauge",
+            "Tuples parked in one shard worker's baskets.",
+        )
+        for p, counters in enumerate(partition["workers"]):
+            w.sample(
+                "repro_partition_worker_parked",
+                counters.get("parked", 0),
+                partition=str(p),
+            )
 
     cache = metrics["fragment_cache"]
     w.header(

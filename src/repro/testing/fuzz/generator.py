@@ -169,6 +169,30 @@ class FuzzQuery:
         geometry = next(iter(self.windows.values()))
         return not geometry.time_based and geometry.kind != "landmark"
 
+    @property
+    def partition_key(self) -> Optional[str]:
+        """First hashable column of the (single) stream, if any."""
+        if len(self.streams) != 1:
+            return None
+        for name, atom in next(iter(self.streams.values())):
+            if atom in ("int", "str", "bool"):
+                return name
+        return None
+
+    @property
+    def partition_ok(self) -> bool:
+        """Sharded execution covers single-stream, non-landmark queries
+        with a hashable key; DISTINCT+ORDER BY stays out because the
+        merge only supports order keys that appear in the output list."""
+        if len(self.aliases) != 1 or self.tables:
+            return False
+        geometry = next(iter(self.windows.values()))
+        if geometry.kind == "landmark":
+            return False
+        if self.distinct and self.order_by:
+            return False
+        return self.partition_key is not None
+
     # -- (de)serialization ---------------------------------------------
     def to_json(self) -> dict:
         return {
@@ -614,16 +638,24 @@ def build_engine(
     fragment_sharing: bool = True,
     verify_plans: bool = False,
     backend: str = "interpreted",
+    partitions: int = 1,
 ) -> DataCellEngine:
-    """A fresh engine holding the query's streams and (loaded) tables."""
+    """A fresh engine holding the query's streams and (loaded) tables.
+
+    ``partitions > 1`` builds a sharded engine and declares every stream
+    partitioned by its :attr:`FuzzQuery.partition_key` (the caller is
+    responsible for only asking when :attr:`FuzzQuery.partition_ok`).
+    """
     engine = DataCellEngine(
         verify_plans=verify_plans,
         workers=workers,
         fragment_sharing=fragment_sharing,
         backend=backend,
+        partitions=partitions,
     )
     for name, cols in query.streams.items():
-        engine.create_stream(name, cols)
+        key = query.partition_key if partitions > 1 else None
+        engine.create_stream(name, cols, partition_by=key)
     for name, table in query.tables.items():
         engine.create_table(name, table["columns"])
         if table["rows"]:

@@ -12,7 +12,11 @@ window is compared across them:
 * ``incremental-dup`` — a second identical incremental query in the same
   engine, so the cross-query fragment cache serves shared fragments;
 * ``incremental-chunked`` — the same plan driven through
-  ``step_chunked(m)`` (single-stream count-based sliding only).
+  ``step_chunked(m)`` (single-stream count-based sliding only);
+* ``incremental-partitioned`` — the same query on a separate
+  ``partitions=P`` engine (hash-routed shard worker processes plus the
+  coordinator's merge, DESIGN.md §14; single-stream non-landmark shapes
+  with a hashable key only).
 
 Configurable axes (workers, fragment sharing, feed chunking, lockcheck,
 execution backend) shake the concurrency, caching, and compilation
@@ -59,6 +63,7 @@ class OracleConfig:
     float_tol: float = 1e-6
     lockcheck: bool = False  # run under ObservedLock, assert lock order
     backend: str = "interpreted"  # engine execution backend for all legs
+    partitions: int = 1  # extra sharded leg when > 1 (partition_ok only)
 
     def to_json(self) -> dict:
         return {
@@ -70,6 +75,7 @@ class OracleConfig:
             "float_tol": self.float_tol,
             "lockcheck": self.lockcheck,
             "backend": self.backend,
+            "partitions": self.partitions,
         }
 
     @staticmethod
@@ -83,8 +89,10 @@ class OracleConfig:
             float_tol=data.get("float_tol", 1e-6),
             lockcheck=data.get("lockcheck", False),
             # Pre-backend reproducers carry no "backend" key and replay
-            # on the interpreter, exactly as they originally ran.
+            # on the interpreter, exactly as they originally ran; the
+            # same convention keeps pre-partition reproducers at P=1.
             backend=data.get("backend", "interpreted"),
+            partitions=data.get("partitions", 1),
         )
 
     def describe(self) -> str:
@@ -99,6 +107,8 @@ class OracleConfig:
             parts.append("lockcheck")
         if self.backend != "interpreted":
             parts.append(f"backend={self.backend}")
+        if self.partitions > 1:
+            parts.append(f"partitions={self.partitions}")
         return " ".join(parts)
 
 
@@ -231,6 +241,35 @@ def run_incremental(
         engine.close()
 
 
+def run_partitioned(
+    query: FuzzQuery, feed: Feed, config: OracleConfig
+) -> Optional[list[list[tuple]]]:
+    """The sharded leg: the same query on a P-partition engine.
+
+    Runs in its own engine (shard workers replace the thread axes — the
+    step-chunk and lockcheck instruments only see in-process state).
+    Returns None when the partition planner rejects the query shape, so
+    the caller simply skips the leg.
+    """
+    from repro.errors import UnsupportedQueryError
+
+    engine = build_engine(
+        query, backend=config.backend, partitions=config.partitions
+    )
+    try:
+        try:
+            handle = engine.submit(query.sql, name="qp")
+        except UnsupportedQueryError:
+            return None
+        _feed_rounds(
+            engine, query, feed, config.chunk_plan,
+            on_round=engine.run_until_idle,
+        )
+        return [batch.rows() for batch in handle.results()]
+    finally:
+        engine.close()
+
+
 def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResult:
     """Execute every applicable leg and compare all fired windows."""
     windows: dict[str, list[list[tuple]]] = {}
@@ -299,6 +338,11 @@ def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResu
     if sysx_query is not None:
         windows["systemx"] = [list(rows) for rows in sysx_query.results]
 
+    if config.partitions > 1 and query.partition_ok:
+        partitioned = run_partitioned(query, feed, config)
+        if partitioned is not None:
+            windows["incremental-partitioned"] = partitioned
+
     if lock_observer is not None:
         divergences = lock_observer.violations()
         if divergences:
@@ -344,7 +388,13 @@ def compare_windows(
                     f"{_preview(left)} vs {_preview(right)}",
                 )
     if reference.order_keys:
-        for label in (PIVOT, "reeval", "systemx", "incremental-dup"):
+        for label in (
+            PIVOT,
+            "reeval",
+            "systemx",
+            "incremental-dup",
+            "incremental-partitioned",
+        ):
             for index, rows in enumerate(windows.get(label, ())):
                 if not check_sorted(rows, reference.order_keys, config.float_tol):
                     return Divergence(

@@ -15,7 +15,9 @@ two integers printed in the banner.  Each iteration:
    ``lockcheck`` axis that replays observed lock acquisitions against
    the static lock order — always on under ``--lockcheck`` — and a
    ``backend`` axis that runs the engine on the compiled execution
-   backend — forceable via ``--backend compiled``);
+   backend — forceable via ``--backend compiled`` — and a
+   ``partitions`` axis that adds a key-partitioned multi-process leg
+   for supported query shapes — forceable via ``--partitions N``);
 4. checks one metamorphic relation (rotating through
    :data:`~repro.testing.fuzz.metamorphic.RELATIONS`).
 
@@ -65,6 +67,7 @@ class FuzzSession:
         vary_axes: bool = True,
         lockcheck: bool = False,
         backend: Optional[str] = None,
+        partitions: Optional[int] = None,
         max_failures: int = 5,
         shrink_runs: int = 60,
         out: Optional[TextIO] = None,
@@ -79,6 +82,9 @@ class FuzzSession:
         self.lockcheck = lockcheck
         #: Forced execution backend; None leaves it to the random axis.
         self.backend = backend
+        #: Forced partition count for the sharded leg; None leaves it to
+        #: the random axis (P drawn from {2, 3} on ~1 in 4 iterations).
+        self.partitions = partitions
         self.max_failures = max_failures
         self.shrink_runs = shrink_runs
         self.out = out if out is not None else sys.stdout
@@ -156,6 +162,7 @@ class FuzzSession:
             return OracleConfig(
                 lockcheck=self.lockcheck,
                 backend=self.backend or "interpreted",
+                partitions=self.partitions or 1,
             )
         # New axes draw *after* the existing ones so historical
         # (seed, iteration) pairs keep reproducing the same config.
@@ -175,11 +182,19 @@ class FuzzSession:
             ),
             lockcheck=self.lockcheck or bool(rng.random() < 0.25),
         )
-        # Backend axis: drawn last (see comment above).  A --backend
-        # override skips the draw entirely, keeping older draws aligned.
+        # Backend axis: drawn after the core axes (see comment above).
+        # A --backend override skips the draw entirely, keeping older
+        # draws aligned.
         config.backend = self.backend or (
             "compiled" if rng.random() < 0.45 else "interpreted"
         )
+        # Partitions axis: drawn last.  The partitioned leg only runs for
+        # shapes the sharded engine supports (query.partition_ok); other
+        # shapes keep P=1 so the draw stays cheap and deterministic.
+        if self.partitions is not None:
+            config.partitions = self.partitions
+        elif query.partition_ok and rng.random() < 0.25:
+            config.partitions = int(rng.choice([2, 3]))
         return config
 
     # ------------------------------------------------------------------
@@ -326,6 +341,11 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
                         default=None,
                         help="force the engine execution backend for every "
                         "oracle run (otherwise drawn as a random axis)")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="force the key-partitioned leg to run with this "
+                        "many shard workers on every supported query "
+                        "(otherwise drawn as a random axis: P in {2, 3} on "
+                        "~25%% of iterations)")
     parser.add_argument("--replay", metavar="FILE", default=None,
                         help="re-execute a .repro.json reproducer and exit")
     args = parser.parse_args(argv)
@@ -355,6 +375,7 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
         vary_axes=not args.fixed_axes,
         lockcheck=args.lockcheck,
         backend=args.backend,
+        partitions=args.partitions,
         max_failures=args.max_failures,
         shrink_runs=args.shrink_runs,
         out=out,

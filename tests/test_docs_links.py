@@ -38,3 +38,12 @@ def test_checker_flags_broken_links(tmp_path):
     assert any("missing.md" in e for e in errors)
     assert any("nope" in e for e in errors)
     assert not checker.check_links(tmp_path, ["B.md"])
+
+
+def test_discovery_covers_every_docs_file():
+    checker = _load_checker()
+    discovered = set(checker.discover_docs())
+    assert {"docs/OPERATIONS.md", "docs/ARCHITECTURE.md", "docs/METRICS.md"} <= discovered
+    assert {"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} <= discovered
+    on_disk = {f"docs/{p.name}" for p in (ROOT / "docs").glob("*.md")}
+    assert on_disk <= discovered

@@ -1,0 +1,55 @@
+"""docs/METRICS.md must document every metric the engine exports.
+
+Scrapes the exporter source for Prometheus family names and the
+profiler's always-present counters, then asserts each appears verbatim
+in docs/METRICS.md — so adding a metric without documenting it fails
+the tier-1 suite.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.metrics import BASE_COUNTERS
+
+ROOT = Path(__file__).resolve().parents[1]
+
+METRICS_SRC = ROOT / "src" / "repro" / "obs" / "metrics.py"
+METRICS_DOC = ROOT / "docs" / "METRICS.md"
+
+
+def exported_families() -> set[str]:
+    names = set(re.findall(r'"(repro_[a-z_]+)"', METRICS_SRC.read_text()))
+    # f-string families (per-counter _total) expand from BASE_COUNTERS.
+    names |= {f"repro_{counter}_total" for counter in BASE_COUNTERS}
+    return names
+
+
+def test_every_prometheus_family_is_documented():
+    doc = METRICS_DOC.read_text()
+    missing = sorted(name for name in exported_families() if name not in doc)
+    assert not missing, f"families absent from docs/METRICS.md: {missing}"
+
+
+def test_every_base_counter_is_documented():
+    doc = METRICS_DOC.read_text()
+    missing = sorted(
+        counter for counter in BASE_COUNTERS if f"`{counter}`" not in doc
+    )
+    assert not missing, f"counters absent from docs/METRICS.md: {missing}"
+
+
+def test_snapshot_keys_are_documented():
+    from repro import DataCellEngine
+
+    engine = DataCellEngine()
+    try:
+        engine.create_stream("s", [("x1", "int")])
+        engine.submit("SELECT count(*) AS n FROM s [RANGE 2 SLIDE 2]")
+        engine.feed("s", columns={"x1": [1, 2]})
+        engine.run_until_idle()
+        snapshot = engine.metrics()
+    finally:
+        engine.close()
+    doc = METRICS_DOC.read_text()
+    missing = sorted(key for key in snapshot if f"`{key}`" not in doc)
+    assert not missing, f"snapshot keys absent from docs/METRICS.md: {missing}"

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Verify that internal markdown links in the project docs resolve.
 
-Checks every ``[text](target)`` link in the documents listed in ``DOCS``:
-relative file targets must exist on disk, and ``#anchor`` fragments must
-match a heading slug in the target document (GitHub slug rules: lowercase,
-punctuation stripped, spaces to dashes).  External ``http(s)`` links are
-ignored — CI must not depend on the network.
+Checks every ``[text](target)`` link in the top-level manuals plus
+**every** ``docs/*.md`` file (auto-discovered, so a new document is
+covered the moment it lands): relative file targets must exist on disk,
+and ``#anchor`` fragments must match a heading slug in the target
+document (GitHub slug rules: lowercase, punctuation stripped, spaces to
+dashes).  External ``http(s)`` links are ignored — CI must not depend
+on the network.
 
 Run directly (``python tools/check_docs_links.py``) or through the
 ``tests/test_docs_links.py`` wrapper; exits non-zero listing every broken
@@ -20,13 +22,25 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
 
-DOCS = [
+TOP_LEVEL_DOCS = [
     "README.md",
     "DESIGN.md",
     "EXPERIMENTS.md",
     "ROADMAP.md",
-    "docs/OPERATIONS.md",
 ]
+
+
+def discover_docs(root: Path = ROOT) -> list[str]:
+    """The checked set: top-level manuals + every ``docs/*.md``."""
+    found = sorted(
+        str(path.relative_to(root)) for path in (root / "docs").glob("*.md")
+    )
+    return TOP_LEVEL_DOCS + found
+
+
+# Kept as a module attribute for the test wrapper / introspection; the
+# authoritative set is recomputed per check_links() call.
+DOCS = discover_docs()
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$")
@@ -53,7 +67,7 @@ def heading_slugs(path: Path) -> set[str]:
 def check_links(root: Path = ROOT, docs: list[str] | None = None) -> list[str]:
     """Returns one error string per broken link (empty = all good)."""
     errors: list[str] = []
-    for doc in docs if docs is not None else DOCS:
+    for doc in docs if docs is not None else discover_docs(root):
         path = root / doc
         if not path.exists():
             errors.append(f"{doc}: document missing")
@@ -85,7 +99,7 @@ def main() -> int:
     errors = check_links()
     for error in errors:
         print(error, file=sys.stderr)
-    checked = ", ".join(DOCS)
+    checked = ", ".join(discover_docs())
     if errors:
         print(f"docs link check: {len(errors)} broken link(s)", file=sys.stderr)
         return 1
