@@ -1,0 +1,144 @@
+"""Durability overhead — journaling cost on ingest, checkpoint latency.
+
+Drives the Figure 4(a) Q1 micro-workload through the scheduler path
+twice per round — once on an ephemeral engine and once journaling every
+``feed`` to a data directory — in alternating order, and compares the
+medians; a third timed leg measures ``engine.checkpoint()`` at the end
+of a durable run and reads snapshot size and journal volume back from
+the durability counters (``checkpoints``, ``checkpoint_bytes``,
+``journal_records``, ``journal_bytes``), so the reported numbers are
+the same ones operators see in metrics (docs/OPERATIONS.md §7.3).
+
+Journaling pays one CRC-framed, fsynced append per feed, so unlike
+tracing (bench_obs_overhead.py) its cost is *expected* to show; the
+bound here only guards against pathological regressions (a journal
+write costing more than the window work it protects).
+
+Runs standalone (``python benchmarks/bench_durability_overhead.py
+[--smoke]``) or under pytest like the other figure benchmarks.
+``--smoke`` shrinks the workload and relaxes the bound — it checks the
+harness end-to-end on CI, not the committed number
+(benchmarks/results/durability_overhead.txt).
+"""
+
+import statistics
+import sys
+import tempfile
+import time
+
+from repro import DataCellEngine
+from repro.bench import report
+from repro.workloads import selection_stream
+
+WINDOW, BASIC_WINDOWS = 204_800, 512
+STEP = WINDOW // BASIC_WINDOWS
+WINDOWS = 20
+ROUNDS = 5
+BOUND = 2.0
+
+SMOKE_SCALE = 16
+SMOKE_BOUND = 4.0  # fsync latency dominates at smoke scale
+
+
+def drive(columns, window, step, windows, data_dir=None, checkpoint=False):
+    """One timed run; returns (seconds, checkpoint_seconds, stats)."""
+    engine = DataCellEngine(data_dir=data_dir)
+    engine.create_stream("stream", [("x1", "int"), ("x2", "int")])
+    engine.submit(
+        f"SELECT x1, sum(x2) FROM stream [RANGE {window} SLIDE {step}] "
+        f"WHERE x1 > 50 GROUP BY x1"
+    )
+    offsets = [window + k * step for k in range(windows + 1)]
+    start = time.perf_counter()
+    fed = 0
+    for end in offsets:
+        engine.feed(
+            "stream", columns={name: col[fed:end] for name, col in columns.items()}
+        )
+        fed = end
+        engine.run_until_idle()
+    elapsed = time.perf_counter() - start
+    checkpoint_seconds = 0.0
+    stats = {}
+    if checkpoint:
+        journal_bytes = engine.durability_stats()["journal_bytes"]
+        begin = time.perf_counter()
+        engine.checkpoint()
+        checkpoint_seconds = time.perf_counter() - begin
+        stats = engine.durability_stats()
+        stats["run_journal_bytes"] = journal_bytes  # pre-rotation volume
+    engine.close()
+    return elapsed, checkpoint_seconds, stats
+
+
+def measure(window, step, windows, rounds):
+    workload = selection_stream(
+        window + (windows + 1) * step, selectivity=0.5, seed=13, domain=100
+    )
+    columns = workload.columns()
+    drive(columns, window, step, windows)  # warm-up
+    plain, durable, checkpoints = [], [], []
+    stats = {}
+    for __ in range(rounds):
+        plain.append(drive(columns, window, step, windows)[0])
+        with tempfile.TemporaryDirectory(prefix="repro-bench-dur-") as tmp:
+            seconds, checkpoint_seconds, stats = drive(
+                columns, window, step, windows, data_dir=tmp, checkpoint=True
+            )
+        durable.append(seconds)
+        checkpoints.append(checkpoint_seconds)
+    return (
+        statistics.median(plain),
+        statistics.median(durable),
+        statistics.median(checkpoints),
+        stats,
+    )
+
+
+def run(smoke=False):
+    if smoke:
+        window, step, windows, rounds, bound = (
+            WINDOW // SMOKE_SCALE, STEP // SMOKE_SCALE, 5, 2, SMOKE_BOUND
+        )
+    else:
+        window, step, windows, rounds, bound = WINDOW, STEP, WINDOWS, ROUNDS, BOUND
+    base, durable, checkpoint_seconds, stats = measure(window, step, windows, rounds)
+    ratio = durable / base
+    checkpoint = stats.get("last_checkpoint", {})
+    rows = [
+        ("ephemeral ingest", f"{base:.4f}", "1.00"),
+        ("journaled ingest", f"{durable:.4f}", f"{ratio:.2f}"),
+        ("checkpoint", f"{checkpoint_seconds:.4f}", "-"),
+        ("snapshot bytes", checkpoint.get("bytes", 0), "-"),
+        ("journal bytes", stats.get("run_journal_bytes", 0), "-"),
+    ]
+    if not smoke:
+        report(
+            "durability_overhead",
+            f"Durability overhead — fig4 Q1 ({windows} windows, "
+            f"median of {rounds})",
+            ["measure", "seconds/bytes", "ratio"],
+            rows,
+        )
+    else:
+        print(
+            f"smoke: plain={base:.4f}s journaled={durable:.4f}s "
+            f"ratio={ratio:.2f} checkpoint={checkpoint_seconds:.4f}s "
+            f"snapshot={checkpoint.get('bytes', 0)}B"
+        )
+    assert ratio < bound, (
+        f"journaling overhead {ratio:.2f}x exceeds the {bound:.1f}x bound "
+        f"(plain={base:.4f}s journaled={durable:.4f}s)"
+    )
+    assert stats.get("snapshot_id", 0) >= 1 and checkpoint.get("bytes", 0) > 0, (
+        f"checkpoint left no durability stats: {stats}"
+    )
+    return ratio
+
+
+def test_durability_overhead_under_bound():
+    run(smoke=False)
+
+
+if __name__ == "__main__":
+    raise SystemExit(0 if run(smoke="--smoke" in sys.argv[1:]) else 1)

@@ -37,6 +37,8 @@ from typing import Optional
 #: higher positions.  Nodes are ``ClassName.attr``;
 #: ``FragmentCache.pending`` stands for the per-span compute locks.
 LOCK_ORDER: tuple[str, ...] = (
+    "DurabilityManager.lock",
+    "DataCellEngine._shard_pump_lock",
     "Scheduler._lock",
     "_Registration.firing_lock",
     "Basket._lock",
@@ -70,6 +72,8 @@ NAME_HINTS: dict[str, str] = {
     "engine": "DataCellEngine",
     "cache": "FragmentCache",
     "emitter": "CollectingEmitter",
+    "journal": "DurabilityManager",
+    "dur": "DurabilityManager",
 }
 
 _GUARD_RE = re.compile(r"guarded-by:\s*([\w.]+)")

@@ -53,6 +53,14 @@ verifies rewritten plans (see :mod:`repro.analysis.lint`), and
 ``python -m repro fuzz [...]`` runs the differential fuzzing harness
 (see :mod:`repro.testing.fuzz`).
 
+``python -m repro serve --data-dir DIR`` runs the console against a
+*durable* engine: every command is journaled to the data directory,
+checkpoints are taken in the background (``--checkpoint-interval`` /
+``--checkpoint-bytes``), and a crashed serve session is recovered —
+snapshot restore plus journal replay — on the next start.  The console
+gains a ``CHECKPOINT`` command to force one on demand (docs/OPERATIONS.md
+§7).
+
 Observability subcommands (docs/OPERATIONS.md §6)::
 
     python -m repro top [--once | --interval S --count N] [script...]
@@ -113,8 +121,9 @@ class Console:
         overflow: Optional[OverflowPolicy] = None,
         backend: str = "interpreted",
         partitions: int = 1,
+        engine: Optional[DataCellEngine] = None,
     ) -> None:
-        self.engine = DataCellEngine(
+        self.engine = engine if engine is not None else DataCellEngine(
             workers=workers, backend=backend, partitions=partitions
         )
         self.capacity = capacity
@@ -173,6 +182,13 @@ class Console:
             return
         if upper == "STATS":
             self._stats()
+            return
+        if upper == "CHECKPOINT":
+            stats = self.engine.checkpoint()
+            self.println(
+                f"checkpoint {stats['snapshot_id']}: {stats['bytes']} byte(s), "
+                f"journal horizon seq {stats['horizon']}"
+            )
             return
         if upper == "TOP":
             from repro.obs.console import render_top
@@ -419,6 +435,144 @@ def _run_obs_cli(command: str, argv: list[str]) -> int:
     return 0
 
 
+def _run_serve_cli(argv: list[str]) -> int:
+    """``python -m repro serve --data-dir DIR`` — durable console mode.
+
+    Opens (or recovers) a durable engine rooted at ``--data-dir``: if the
+    directory already holds a manifest or journal the engine is rebuilt
+    with :meth:`DataCellEngine.restore` (snapshot + journal replay),
+    otherwise a fresh journaling engine is created.  A background thread
+    then takes a consistent checkpoint every ``--checkpoint-interval``
+    seconds (default 30) or as soon as the live journal segment exceeds
+    ``--checkpoint-bytes`` bytes (optional size trigger), whichever
+    comes first.  Commands are read from the given script files and then
+    stdin; on clean exit a final checkpoint is taken.  A crash (SIGKILL,
+    power loss) at any point loses nothing: the next ``serve`` replays
+    the journal past the last checkpoint horizon (docs/OPERATIONS.md §7).
+    """
+    import threading
+    import time as _time
+
+    from repro.core.durability import has_data
+
+    data_dir: Optional[str] = None
+    interval = 30.0
+    checkpoint_bytes: Optional[int] = None
+    workers = 1
+    partitions = 1
+    backend = "interpreted"
+    capacity: Optional[int] = None
+    overflow: Optional[OverflowPolicy] = None
+    scripts: list[str] = []
+    try:
+        index = 0
+        while index < len(argv):
+            arg = argv[index]
+            name, __, inline = arg.partition("=")
+            if name in (
+                "--data-dir", "--checkpoint-interval", "--checkpoint-bytes",
+                "--workers", "--partitions", "--backend", "--capacity",
+                "--overflow",
+            ):
+                if inline:
+                    value = inline
+                else:
+                    index += 1
+                    if index >= len(argv):
+                        raise ValueError(f"{name} needs a value")
+                    value = argv[index]
+                if name == "--data-dir":
+                    data_dir = value
+                elif name == "--checkpoint-interval":
+                    interval = float(value)
+                    if interval <= 0:
+                        raise ValueError("--checkpoint-interval must be positive")
+                elif name == "--checkpoint-bytes":
+                    checkpoint_bytes = int(value)
+                    if checkpoint_bytes < 1:
+                        raise ValueError("--checkpoint-bytes must be >= 1")
+                elif name == "--workers":
+                    workers = int(value)
+                    if workers < 1:
+                        raise ValueError("--workers must be >= 1")
+                elif name == "--partitions":
+                    partitions = int(value)
+                    if partitions < 1:
+                        raise ValueError("--partitions must be >= 1")
+                elif name == "--backend":
+                    from repro.kernel.execution.backends import BACKENDS
+
+                    if value not in BACKENDS:
+                        raise ValueError(
+                            f"--backend must be one of {', '.join(BACKENDS)}"
+                        )
+                    backend = value
+                elif name == "--capacity":
+                    capacity = int(value)
+                    if capacity < 1:
+                        raise ValueError("--capacity must be >= 1")
+                else:
+                    overflow = parse_overflow_spec(value)
+            elif name.startswith("--"):
+                raise ValueError(f"unknown flag {name!r}")
+            else:
+                scripts.append(arg)
+            index += 1
+        if data_dir is None:
+            raise ValueError("serve requires --data-dir")
+    except (ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if has_data(data_dir):
+        engine = DataCellEngine.restore(data_dir)
+        engine.run_until_idle()
+        print(f"recovered engine from {data_dir}", file=sys.stderr)
+    else:
+        engine = DataCellEngine(
+            workers=workers,
+            backend=backend,
+            partitions=partitions,
+            data_dir=data_dir,
+        )
+        print(f"created durable engine at {data_dir}", file=sys.stderr)
+    console = Console(engine=engine, capacity=capacity, overflow=overflow)
+    stop = threading.Event()
+
+    def checkpointer() -> None:
+        last = _time.monotonic()
+        while not stop.wait(0.2):
+            due = _time.monotonic() - last >= interval
+            if checkpoint_bytes is not None and not due:
+                stats = engine.durability_stats()
+                due = stats.get("journal_bytes", 0) >= checkpoint_bytes
+            if not due:
+                continue
+            try:
+                engine.checkpoint()
+            except ReproError:  # pragma: no cover - defensive
+                pass
+            last = _time.monotonic()
+
+    thread = threading.Thread(target=checkpointer, name="checkpointer", daemon=True)
+    thread.start()
+    try:
+        for path in scripts:
+            with open(path) as script:
+                console.run(script)
+        console.run(sys.stdin)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+        try:
+            engine.checkpoint()
+        except Exception:  # pragma: no cover - best effort at shutdown
+            pass
+        engine.close()
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """Entry point: interactive REPL, or replay script files given as args.
 
@@ -441,6 +595,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return run_fuzz_cli(argv[1:])
     if argv and argv[0] in ("top", "trace"):
         return _run_obs_cli(argv[0], argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve_cli(argv[1:])
     workers = 1
     capacity: Optional[int] = None
     overflow = None

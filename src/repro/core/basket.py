@@ -126,6 +126,10 @@ class Basket:
         self.block_waits = 0  # guarded-by: _lock
         #: Blocked appends that gave up at the timeout, monotonic.
         self.block_timeouts = 0  # guarded-by: _lock
+        # Input journal (durability): when attached, every direct append
+        # is logged *before* admission under the journal's outer lock —
+        # see :meth:`attach_journal` for the lock-order argument.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # locking
@@ -301,6 +305,42 @@ class Basket:
         return slice(None)
 
     # ------------------------------------------------------------------
+    # journaling (durability)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Log every direct append (the receptor path) to ``journal``.
+
+        ``journal`` is a :class:`~repro.core.durability.DurabilityManager`;
+        its lock is the engine's *outermost* lock, so the append wrappers
+        take it strictly before this basket's own lock — the same order
+        ``engine.feed`` uses, which is what keeps a checkpoint's
+        ``(horizon, state)`` pair consistent against receptor threads.
+        The offered batch is journaled pre-admission: replay re-offers it
+        through the same policy (whose RNG state the snapshot carries),
+        so shedding decisions reproduce deterministically.
+        """
+        with self._lock:
+            self._journal = journal
+
+    def _journal_record(self, columns, timestamps) -> dict:
+        """One ``basket`` journal record for an offered batch."""
+        from repro.core.durability import typed_values
+
+        typed = {
+            name: typed_values(columns[name], self.schema.atom_of(name))
+            for name in self.schema.names
+        }
+        return {
+            "basket": self.name,
+            "columns": typed,
+            "timestamps": (
+                None
+                if timestamps is None
+                else np.asarray(timestamps, dtype=np.int64)
+            ),
+        }
+
+    # ------------------------------------------------------------------
     # appends (receptor side)
     # ------------------------------------------------------------------
     def append_rows(
@@ -312,6 +352,26 @@ class Basket:
         return value is then smaller than the input), block, or raise
         :class:`~repro.errors.BasketOverflowError`.
         """
+        journal = self._journal
+        if journal is not None:
+            rows = rows if isinstance(rows, list) else list(rows)
+            names = self.schema.names
+            for row in rows:
+                if len(row) != len(names):
+                    raise BasketError(
+                        f"row arity {len(row)} != schema arity {len(names)}"
+                    )
+            columns = {
+                name: [row[i] for row in rows] for i, name in enumerate(names)
+            }
+            with journal.lock:
+                journal.journal("basket", self._journal_record(columns, timestamps))
+                return self._append_rows(rows, timestamps)
+        return self._append_rows(rows, timestamps)
+
+    def _append_rows(
+        self, rows: Iterable[Sequence], timestamps: Sequence[int] | None
+    ) -> int:
         if self._capacity is None:
             with self._lock:
                 return self._append_rows_locked(rows, timestamps)
@@ -355,6 +415,27 @@ class Basket:
         Returns the number of tuples admitted (see :meth:`append_rows` for
         bounded-basket semantics).
         """
+        journal = self._journal
+        if journal is not None:
+            if set(columns) != set(self.schema.names):
+                raise BasketError(
+                    f"append_columns needs exactly columns "
+                    f"{sorted(self.schema.names)}"
+                )
+            if len({len(values) for values in columns.values()}) != 1:
+                raise BasketError("ragged column append")
+            with journal.lock:
+                journal.journal(
+                    "basket", self._journal_record(columns, timestamps)
+                )
+                return self._append_columns(columns, timestamps)
+        return self._append_columns(columns, timestamps)
+
+    def _append_columns(
+        self,
+        columns: Mapping[str, Sequence | np.ndarray],
+        timestamps: Sequence[int] | np.ndarray | None = None,
+    ) -> int:
         with self._lock:
             expected = set(self.schema.names)
             if set(columns) != expected:
@@ -474,3 +555,52 @@ class Basket:
                 self._consumed_abs += count
             if self._capacity is not None and count:
                 self._not_full.notify_all()
+
+    # ------------------------------------------------------------------
+    # durability (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """A serializable image of the basket (see core.durability).
+
+        Columns are deep-copied BATs (tail + hseq), so the snapshot stays
+        valid however the live basket mutates afterwards.  Stateful
+        overflow policies contribute their RNG state, keeping shedding
+        decisions identical across a checkpoint/restore boundary.
+        """
+        with self._lock:
+            columns = {}
+            for name, builder in self._builders.items():
+                bat = builder.snapshot()
+                columns[name] = BAT(bat.tail.copy(), bat.atom, bat.hseq)
+            state = {
+                "columns": columns,
+                "appended_total": self._appended_total,
+                "clock": self._clock,
+                "watermark": self._watermark,
+                "consumed_abs": self._consumed_abs,
+                "shed_total": self.shed_total,
+                "block_waits": self.block_waits,
+                "block_timeouts": self.block_timeouts,
+            }
+            rng = getattr(self._policy, "_rng", None)
+            if rng is not None:
+                state["policy_rng"] = rng.bit_generator.state
+            return state
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents and counters with a snapshot's image."""
+        with self._lock:
+            for name, bat in state["columns"].items():
+                builder = BATBuilder(bat.atom, hseq=bat.hseq)
+                builder.extend(bat.tail)
+                self._builders[name] = builder
+            self._appended_total = state["appended_total"]
+            self._clock = state["clock"]
+            self._watermark = state["watermark"]
+            self._consumed_abs = state["consumed_abs"]
+            self.shed_total = state["shed_total"]
+            self.block_waits = state["block_waits"]
+            self.block_timeouts = state["block_timeouts"]
+            rng = getattr(self._policy, "_rng", None)
+            if rng is not None and "policy_rng" in state:
+                rng.bit_generator.state = state["policy_rng"]

@@ -68,6 +68,39 @@ class CollectingEmitter:
         with self._lock:
             self._batches.clear()
 
+    def snapshot_state(self) -> dict:
+        """Serializable image for checkpointing (see repro.core.durability)."""
+        with self._lock:
+            return {
+                "total_batches": self.total_batches,
+                "total_rows": self.total_rows,
+                "batches": [
+                    {
+                        "names": list(batch.names),
+                        "columns": dict(batch.columns),
+                        "window_index": batch.window_index,
+                        "response_seconds": batch.response_seconds,
+                        "breakdown": dict(batch.breakdown),
+                    }
+                    for batch in self._batches
+                ],
+            }
+
+    def restore_state(self, state: dict) -> None:
+        with self._lock:
+            self.total_batches = state["total_batches"]
+            self.total_rows = state["total_rows"]
+            self._batches = [
+                ResultBatch(
+                    names=list(entry["names"]),
+                    columns=entry["columns"],
+                    window_index=entry["window_index"],
+                    response_seconds=entry["response_seconds"],
+                    breakdown=entry["breakdown"],
+                )
+                for entry in state["batches"]
+            ]
+
 
 class CallbackEmitter:
     """Forwards each batch to a user callback."""

@@ -27,15 +27,23 @@ work).
 from __future__ import annotations
 
 import os
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.basket import Basket
+from repro.core.durability import (
+    DurabilityError,
+    DurabilityManager,
+    has_data,
+    typed_values,
+)
 from repro.core.emitter import CollectingEmitter
 from repro.core.factory import FactoryBase, IncrementalFactory, ResultBatch
-from repro.core.overflow import OverflowPolicy
+from repro.core.overflow import OverflowPolicy, parse_overflow_spec, policy_spec
 from repro.core.partials import FragmentCache
 from repro.core.partition import (
     SEQ_COLUMN,
@@ -64,6 +72,10 @@ from repro.kernel.atoms import Atom
 from repro.kernel.bat import BAT
 from repro.kernel.execution.backends import BACKENDS
 from repro.kernel.execution.interpreter import Interpreter
+from repro.kernel.execution.profiler import (
+    COUNTER_RECOVERY_SUPPRESSED,
+    COUNTER_REPLAYED_RECORDS,
+)
 from repro.kernel.storage import Catalog, Schema, Table
 from repro.obs import Observability, collect_metrics, render_json, render_prometheus
 from repro.sql.logical import find_scans, pretty_plan
@@ -98,6 +110,33 @@ def _as_atom(atom) -> Atom:
 
 def _as_schema(columns: Sequence[tuple[str, object]]) -> Schema:
     return Schema(tuple((name, _as_atom(atom)) for name, atom in columns))
+
+
+def _pack_batches(batches: Sequence[ResultBatch]) -> list[dict]:
+    """Serializable image of emitted result batches (checkpointing)."""
+    return [
+        {
+            "names": list(batch.names),
+            "columns": dict(batch.columns),
+            "window_index": batch.window_index,
+            "response_seconds": batch.response_seconds,
+            "breakdown": dict(batch.breakdown),
+        }
+        for batch in batches
+    ]
+
+
+def _unpack_batches(entries: Sequence[dict]) -> list[ResultBatch]:
+    return [
+        ResultBatch(
+            names=list(entry["names"]),
+            columns=entry["columns"],
+            window_index=entry["window_index"],
+            response_seconds=entry["response_seconds"],
+            breakdown=entry["breakdown"],
+        )
+        for entry in entries
+    ]
 
 
 @dataclass
@@ -182,6 +221,7 @@ class DataCellEngine:
         observability: bool = True,
         backend: str = "interpreted",
         partitions: int = 1,
+        data_dir: Optional[str] = None,
     ) -> None:
         if partitions < 1:
             raise ReproError("partitions must be >= 1")
@@ -228,6 +268,13 @@ class DataCellEngine:
         self._shards = None
         self._partitioned: dict[str, _PartitionedStream] = {}
         self._pqueries: dict[str, "PartitionedQuery"] = {}
+        #: Query names in submission order (both kinds) — the resubmission
+        #: order a snapshot restore follows.
+        self._submit_order: list[str] = []
+        # Serializes the shard pump (run_until_idle's worker section)
+        # against checkpoint's worker-snapshot request: both talk on the
+        # same pipes, and interleaved request/reply pairs would cross.
+        self._shard_pump_lock = threading.Lock()
         if partitions > 1:
             from repro.core.shard import ShardSet
 
@@ -237,6 +284,21 @@ class DataCellEngine:
                 verify_plans=False,  # the coordinator verifies once
                 fragment_sharing=fragment_sharing,
             )
+        #: Durability (DESIGN.md §15): a data_dir arms the write-ahead
+        #: journal; every state-changing call below appends a record
+        #: before returning.  ``DataCellEngine.restore(data_dir)``
+        #: recovers; a dir that already holds data must go through it.
+        self._dur: Optional[DurabilityManager] = None
+        if data_dir is not None:
+            if has_data(data_dir):
+                raise DurabilityError(
+                    f"data dir {data_dir!r} already holds a journal or "
+                    "snapshot; recover it with DataCellEngine.restore()"
+                )
+            self._dur = DurabilityManager(data_dir, profiler=self.profiler)
+            # The journal's first record carries the engine shape, so a
+            # never-checkpointed dir can still be restored from seq 0.
+            self._dur.journal("meta", self._meta())
 
     @property
     def profiler(self):
@@ -247,6 +309,22 @@ class DataCellEngine:
         is the number the acceptance tests and docs/OPERATIONS.md quote.
         """
         return self.scheduler.profiler
+
+    def _meta(self) -> dict:
+        """The constructor shape a restore must reproduce."""
+        return {
+            "backend": self.backend,
+            "partitions": self.partitions,
+            "workers": self.scheduler.workers,
+            "fragment_sharing": self.fragment_sharing,
+            "observability": self.obs is not None,
+            "verify_plans": self.verify_plans,
+        }
+
+    def _dur_guard(self):
+        """The journal lock when durability is armed (the engine's
+        outermost lock, DESIGN.md §15) — a no-op context otherwise."""
+        return self._dur.lock if self._dur is not None else nullcontext()
 
     # ------------------------------------------------------------------
     # schema management
@@ -282,6 +360,33 @@ class DataCellEngine:
         of cross-query fragment sharing, because shedding breaks the
         arrival-offset alignment the shared cache keys on (DESIGN.md §7).
         """
+        with self._dur_guard():
+            schema = self._create_stream_impl(
+                name, columns, capacity, overflow, partition_by, broadcast=True
+            )
+            if self._dur is not None:
+                self._dur.journal(
+                    "create_stream",
+                    {
+                        "name": name,
+                        "columns": [[c, a.value] for c, a in schema.columns],
+                        "capacity": capacity,
+                        "overflow": policy_spec(overflow),
+                        "partition_by": partition_by,
+                    },
+                )
+
+    def _create_stream_impl(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, object]],
+        capacity: Optional[int],
+        overflow: Optional[OverflowPolicy],
+        partition_by: Optional[str],
+        broadcast: bool,
+    ) -> Schema:
+        """Shared by :meth:`create_stream` and the snapshot-restore path
+        (which skips the worker broadcast — workers restore themselves)."""
         if overflow is not None and capacity is None:
             raise ReproError("an overflow policy needs a capacity")
         schema = _as_schema(columns)
@@ -296,15 +401,17 @@ class DataCellEngine:
             self._partitioned[name] = _PartitionedStream(
                 spec, key_atom, routed=[0] * self.partitions
             )
-            self._shards.broadcast(
-                (
-                    "create_stream",
-                    name,
-                    [(c, a.value) for c, a in worker_schema(schema)],
-                    capacity,
-                    overflow,
+            if broadcast:
+                self._shards.broadcast(
+                    (
+                        "create_stream",
+                        name,
+                        [(c, a.value) for c, a in worker_schema(schema)],
+                        capacity,
+                        overflow,
+                    )
                 )
-            )
+        return schema
 
     def _new_basket(self, query_name: str, relation: str) -> Basket:
         """A fresh per-query basket honouring the stream's overload knobs."""
@@ -318,6 +425,8 @@ class DataCellEngine:
         basket.attach_profiler(self.scheduler.profiler)
         if self.obs is not None:
             basket.enable_arrival_tracking()
+        if self._dur is not None:
+            basket.attach_journal(self._dur)
         return basket
 
     def _stream_sheds(self, relation: str) -> bool:
@@ -326,11 +435,39 @@ class DataCellEngine:
 
     def create_table(self, name: str, columns: Sequence[tuple[str, object]]) -> Table:
         """Create a persistent base table."""
-        return self.catalog.create_table(name, _as_schema(columns))
+        with self._dur_guard():
+            schema = _as_schema(columns)
+            table = self.catalog.create_table(name, schema)
+            if self._dur is not None:
+                self._dur.journal(
+                    "create_table",
+                    {
+                        "name": name,
+                        "columns": [[c, a.value] for c, a in schema.columns],
+                    },
+                )
+            return table
 
     def insert(self, table: str, rows: Iterable[Sequence]) -> int:
         """Append rows to a base table."""
-        return self.catalog.table(table).append_rows(rows)
+        with self._dur_guard():
+            rows = list(rows)
+            count = self.catalog.table(table).append_rows(rows)
+            if self._dur is not None:
+                schema = self.catalog.table(table).schema
+                self._dur.journal(
+                    "insert",
+                    {
+                        "table": table,
+                        "columns": {
+                            name: typed_values(
+                                [row[i] for row in rows], atom
+                            )
+                            for i, (name, atom) in enumerate(schema.columns)
+                        },
+                    },
+                )
+            return count
 
     # ------------------------------------------------------------------
     # continuous queries
@@ -346,6 +483,15 @@ class DataCellEngine:
         ``mode`` selects the execution strategy: ``"incremental"`` (the
         paper's DataCell) or ``"reeval"`` (the DataCellR baseline).
         """
+        with self._dur_guard():
+            handle = self._submit_impl(sql, mode, name)
+            if self._dur is not None:
+                self._dur.journal(
+                    "submit", {"sql": sql, "mode": mode, "name": handle.name}
+                )
+            return handle
+
+    def _submit_impl(self, sql: str, mode: str, name: Optional[str]):
         if mode not in ("incremental", "reeval"):
             raise ReproError(f"unknown mode {mode!r}")
         self._query_counter += 1
@@ -436,6 +582,7 @@ class DataCellEngine:
             query_name, sql, mode, factory, emitter, baskets, resources
         )
         self._queries[query_name] = handle
+        self._submit_order.append(query_name)
         return handle
 
     def _submit_partitioned(self, sql: str, mode: str, query_name: str):
@@ -500,6 +647,7 @@ class DataCellEngine:
         if plan.flavor == "time":
             state.pending_anchor.add(query_name)
         self._pqueries[query_name] = handle
+        self._submit_order.append(query_name)
         return handle
 
     def _verify_partition_query(self, plan, schema: Schema, mode: str) -> None:
@@ -543,6 +691,14 @@ class DataCellEngine:
 
     def remove(self, name: str) -> None:
         """Unregister a continuous query and release its baskets."""
+        with self._dur_guard():
+            self._remove_impl(name)
+            if self._dur is not None:
+                self._dur.journal("remove", {"name": name})
+
+    def _remove_impl(self, name: str) -> None:
+        if name in self._submit_order:
+            self._submit_order.remove(name)
         if name in self._pqueries:
             del self._pqueries[name]
             self._shards.broadcast(("remove", name))
@@ -592,6 +748,63 @@ class DataCellEngine:
             raise CatalogError(f"unknown stream {stream!r}")
         if (rows is None) == (columns is None):
             raise ReproError("feed needs exactly one of rows= or columns=")
+        if self._dur is None:
+            return self._feed_impl(stream, rows, columns, timestamps)
+        if rows is not None:
+            rows = list(rows)
+        # Write-ahead: the record lands before any basket admits a tuple,
+        # so replay re-offers the batch through the restored overflow
+        # policies (RNG state included) and reproduces even a partial
+        # fan-out.  suppressed() keeps the per-basket journal hooks from
+        # double-logging the same tuples.
+        with self._dur.lock:
+            self._dur.journal(
+                "feed", self._feed_record(stream, rows, columns, timestamps)
+            )
+            with self._dur.suppressed():
+                return self._feed_impl(stream, rows, columns, timestamps)
+
+    def _feed_record(
+        self,
+        stream: str,
+        rows: Optional[list],
+        columns: Optional[Mapping[str, Sequence | np.ndarray]],
+        timestamps: Optional[Sequence[int] | np.ndarray],
+    ) -> dict:
+        """Typed, replayable image of one feed batch (validates arity
+        before anything reaches the journal)."""
+        schema = self.catalog.schema_of(stream)
+        names = schema.names
+        if rows is not None:
+            for row in rows:
+                if len(row) != len(names):
+                    raise ReproError(
+                        f"row arity {len(row)} != schema arity {len(names)}"
+                    )
+            cols: Mapping[str, Sequence | np.ndarray] = {
+                name: [row[i] for row in rows] for i, name in enumerate(names)
+            }
+        else:
+            assert columns is not None
+            cols = columns
+        record: dict = {
+            "stream": stream,
+            "columns": {
+                name: typed_values(values, schema.atom_of(name))
+                for name, values in cols.items()
+            },
+        }
+        if timestamps is not None:
+            record["timestamps"] = np.asarray(timestamps, dtype=np.int64)
+        return record
+
+    def _feed_impl(
+        self,
+        stream: str,
+        rows: Optional[Iterable[Sequence]],
+        columns: Optional[Mapping[str, Sequence | np.ndarray]],
+        timestamps: Optional[Sequence[int] | np.ndarray],
+    ) -> int:
         if stream in self._partitioned:
             return self._feed_partitioned(stream, rows, columns, timestamps)
         baskets = self._stream_baskets[stream]
@@ -729,13 +942,16 @@ class DataCellEngine:
         """
         if stream not in self._stream_baskets:
             raise CatalogError(f"unknown stream {stream!r}")
-        if stream in self._partitioned:
-            # Real-time queries only; the virtual (count) axis advances
-            # with the fed count and ignores user punctuations.
-            self._shards.broadcast(("advance", stream, int(ts)))
-            return
-        for basket in self._stream_baskets[stream]:
-            basket.advance_watermark(ts)
+        with self._dur_guard():
+            if stream in self._partitioned:
+                # Real-time queries only; the virtual (count) axis advances
+                # with the fed count and ignores user punctuations.
+                self._shards.broadcast(("advance", stream, int(ts)))
+            else:
+                for basket in self._stream_baskets[stream]:
+                    basket.advance_watermark(ts)
+            if self._dur is not None:
+                self._dur.journal("advance", {"stream": stream, "ts": int(ts)})
 
     def receptor(self, query: ContinuousQuery, stream_alias: str) -> Receptor:
         """A receptor bound to one query's basket (threaded ingest).
@@ -769,14 +985,15 @@ class DataCellEngine:
         """
         fired = self.scheduler.run_until_idle()
         if self._shards is not None:
-            fired += self._shards.run()
-            for p, batches in enumerate(self._shards.collect()):
-                for qname, window_index, resp, cols in batches:
-                    handle = self._pqueries.get(qname)
-                    if handle is not None:
-                        handle.offer(p, window_index, resp, cols)
-            for handle in self._pqueries.values():
-                handle.drain(self._interp, self.profiler)
+            with self._shard_pump_lock:
+                fired += self._shards.run()
+                for p, batches in enumerate(self._shards.collect()):
+                    for qname, window_index, resp, cols in batches:
+                        handle = self._pqueries.get(qname)
+                        if handle is not None:
+                            handle.offer(p, window_index, resp, cols)
+                for handle in self._pqueries.values():
+                    handle.drain(self._interp, self.profiler)
         return fired
 
     def overload_stats(self) -> dict[str, dict[str, int]]:
@@ -847,6 +1064,385 @@ class DataCellEngine:
         self.scheduler.close()
         if self._shards is not None:
             self._shards.close()
+        if self._dur is not None:
+            self._dur.close()
+
+    # ------------------------------------------------------------------
+    # durability: checkpoint / restore (DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Write one consistent snapshot and rotate the journal.
+
+        Holds the journal lock (no new commands commit) and quiesces the
+        scheduler (no factory is mid-firing), gathers the full engine
+        state — baskets, factory partials, emitters, scheduler step
+        counters, fragment cache, shard workers — and commits it through
+        :meth:`DurabilityManager.write_checkpoint`.  Returns the stats
+        dict (``snapshot_id``/``horizon``/``bytes``/``seconds``).
+        """
+        if self._dur is None:
+            raise ReproError("checkpoint() needs an engine with a data_dir")
+        with self._dur.lock:
+            with self._shard_pump_lock:
+                with self.scheduler.quiesced():
+                    state = self._gather_state()
+                    return self._dur.write_checkpoint(state)
+
+    @classmethod
+    def restore(cls, data_dir: str) -> "DataCellEngine":
+        """Recover an engine from a data directory.
+
+        Loads the manifest's snapshot (if any), replays every journal
+        record past its horizon through the normal ingest path, and
+        resumes journaling on a fresh segment.  Re-fired windows are
+        produced exactly once from the emitters' point of view: factory
+        ``window_index`` counters are part of the snapshot, and a dedup
+        sink drops anything at or below the snapshot watermark as
+        defense in depth (``recovery_suppressed`` counter).
+        """
+        dur = DurabilityManager(data_dir)
+        snapshot, horizon = dur.load()
+        records = dur.replay_records(horizon)
+        if snapshot is not None:
+            meta = snapshot["meta"]
+        else:
+            try:
+                __, kind, payload = next(records)
+            except StopIteration:
+                raise DurabilityError(
+                    f"nothing to restore in {data_dir!r}"
+                ) from None
+            if kind != "meta":
+                raise DurabilityError(
+                    f"journal does not start with a meta record (got {kind!r})"
+                )
+            meta = payload
+        engine = cls(
+            verify_plans=meta["verify_plans"],
+            workers=meta["workers"],
+            fragment_sharing=meta["fragment_sharing"],
+            observability=meta["observability"],
+            backend=meta["backend"],
+            partitions=meta["partitions"],
+        )
+        engine._adopt_durability(dur)
+        last_seq = horizon
+        with dur.replaying():
+            if snapshot is not None:
+                engine._apply_state(snapshot)
+            replayed = 0
+            for seq, kind, payload in records:
+                engine._replay_record(kind, payload)
+                last_seq = max(last_seq, seq)
+                replayed += 1
+            if replayed:
+                engine.profiler.count(COUNTER_REPLAYED_RECORDS, replayed)
+        dur.resume(last_seq)
+        return engine
+
+    def _adopt_durability(self, dur: DurabilityManager) -> None:
+        """Bind a loaded manager to this engine (restore path)."""
+        self._dur = dur
+        dur.attach_profiler(self.profiler)
+
+    def abandon(self) -> None:
+        """Die without cleanup — the crash-test path.
+
+        No drain, no checkpoint, no graceful worker shutdown: shard
+        processes are terminated, the journal fd is closed (every append
+        already fsynced itself), and whatever was in memory is lost —
+        exactly what :meth:`restore` must recover from.
+        """
+        try:
+            self.scheduler.stop(drain=False)
+        except Exception:  # noqa: BLE001 - crash path: state is forfeit
+            pass
+        self.scheduler.close()
+        if self._shards is not None:
+            self._shards.abandon()
+        if self._dur is not None:
+            self._dur.close()
+
+    def durability_stats(self) -> dict:
+        """Journal/checkpoint gauges; ``{}`` when durability is off."""
+        if self._dur is None:
+            return {}
+        return self._dur.stats()
+
+    def install_fault_hook(self, hook) -> None:
+        """Test seam: called at every durability HOOK_* point.
+
+        The crash-recovery tests install a
+        :class:`~repro.testing.faults.CrashPoint` here to simulate the
+        process dying mid-append or mid-checkpoint (the hook raises;
+        the test abandons the engine and restores the data dir).
+        """
+        if self._dur is None:
+            raise ReproError("install_fault_hook needs a durable engine")
+        self._dur.fault_hook = hook
+
+    def _gather_state(self) -> dict:
+        """The full engine image one snapshot frame carries.
+
+        Caller holds the journal lock with the scheduler quiesced, so
+        every piece is mutually consistent at the journal horizon.
+        """
+        state: dict = {
+            "meta": self._meta(),
+            "streams": [
+                {
+                    "name": name,
+                    "columns": [
+                        [c, a.value]
+                        for c, a in self.catalog.schema_of(name).columns
+                    ],
+                    "capacity": self._stream_limits[name][0],
+                    "overflow": policy_spec(self._stream_limits[name][1]),
+                    "partition_by": (
+                        self._partitioned[name].spec.key
+                        if name in self._partitioned
+                        else None
+                    ),
+                }
+                for name in self._stream_baskets
+            ],
+            "stream_fed": dict(self._stream_fed),
+            "diverged": sorted(self._diverged_streams),
+            "tables": [
+                {
+                    "name": name,
+                    "columns": [
+                        [c, a.value] for c, a in table.schema.columns
+                    ],
+                    "data": table.columns(),
+                }
+                for name, table in self.catalog.tables().items()
+            ],
+            "queries": [
+                {
+                    "name": qname,
+                    "sql": self.query(qname).sql,
+                    "mode": self.query(qname).mode,
+                    "partitioned": qname in self._pqueries,
+                }
+                for qname in self._submit_order
+            ],
+            "query_counter": self._query_counter,
+            "query_states": {
+                qname: {
+                    "factory": handle.factory.snapshot_state(),
+                    "baskets": {
+                        alias: basket.snapshot_state()
+                        for alias, basket in handle.baskets.items()
+                    },
+                    "emitter": handle.emitter.snapshot_state(),
+                    "watermark": handle.factory.window_index,
+                }
+                for qname, handle in self._queries.items()
+            },
+            "steps": self.scheduler.steps_snapshot(),
+            "fragment_cache": self.fragment_cache.snapshot_state(),
+            "partitioned": {
+                name: {
+                    "routed": list(ps.routed),
+                    "pending_anchor": sorted(ps.pending_anchor),
+                }
+                for name, ps in self._partitioned.items()
+            },
+            "pqueries": {
+                name: {
+                    "output_names": list(h.output_names),
+                    "output_atoms": [a.value for a in h.output_atoms],
+                    "partial_names": list(h.partial_names),
+                    "partial_atoms": [a.value for a in h.partial_atoms],
+                    "next_window": h.next_window,
+                    "progress": list(h.progress),
+                    "pending": [
+                        [
+                            window,
+                            [
+                                [p, resp, cols]
+                                for p, (resp, cols) in sorted(parts.items())
+                            ],
+                        ]
+                        for window, parts in sorted(h.pending.items())
+                    ],
+                    "batches": _pack_batches(h.batches),
+                }
+                for name, h in self._pqueries.items()
+            },
+        }
+        if self._shards is not None:
+            state["shards"] = [
+                reply[1] for reply in self._shards.request_all(("snapshot",))
+            ]
+        return state
+
+    def _apply_state(self, state: dict) -> None:
+        """Adopt a snapshot image (restore path; journaling suppressed)."""
+        for decl in state["streams"]:
+            self._create_stream_impl(
+                decl["name"],
+                [(c, Atom(a)) for c, a in decl["columns"]],
+                decl["capacity"],
+                parse_overflow_spec(decl["overflow"])
+                if decl["overflow"]
+                else None,
+                decl["partition_by"],
+                broadcast=False,
+            )
+        self._stream_fed.update(state["stream_fed"])
+        self._diverged_streams.update(state["diverged"])
+        for tdecl in state["tables"]:
+            table = self.catalog.create_table(
+                tdecl["name"],
+                _as_schema([(c, Atom(a)) for c, a in tdecl["columns"]]),
+            )
+            if tdecl["data"]:
+                table.append_columns(
+                    {name: bat.tail for name, bat in tdecl["data"].items()}
+                )
+        # Workers restore before queries: the coordinator-side rebuild of
+        # partitioned handles asks them for the worker output schema, and
+        # replayed journal feeds must land on restored worker state.
+        if self._shards is not None and "shards" in state:
+            for worker, wstate in zip(self._shards.workers, state["shards"]):
+                worker.request(("restore", wstate))
+        for entry in state["queries"]:
+            if entry["partitioned"]:
+                self._restore_partitioned_query(
+                    entry, state["pqueries"][entry["name"]]
+                )
+            else:
+                self._submit_impl(entry["sql"], entry["mode"], entry["name"])
+        self._query_counter = state["query_counter"]
+        for qname, qstate in state["query_states"].items():
+            handle = self._queries[qname]
+            handle.factory.restore_state(qstate["factory"])
+            for alias, bstate in qstate["baskets"].items():
+                handle.baskets[alias].restore_state(bstate)
+            handle.emitter.restore_state(qstate["emitter"])
+            self.scheduler.restore_steps(qname, state["steps"].get(qname, 0))
+            self.scheduler.wrap_sinks(
+                qname, self._dedup_wrapper(qstate["watermark"])
+            )
+        self.fragment_cache.restore_state(state["fragment_cache"])
+        for name, pstate in state["partitioned"].items():
+            ps = self._partitioned[name]
+            ps.routed = [int(x) for x in pstate["routed"]]
+            ps.pending_anchor = set(pstate["pending_anchor"])
+
+    def _restore_partitioned_query(self, entry: dict, pstate: dict) -> None:
+        """Rebuild one partitioned handle without re-submitting to the
+        (already restored) shard workers."""
+        from repro.core.shard import PartitionedQuery
+        from repro.sql.parser import parse
+
+        name, sql = entry["name"], entry["sql"]
+        stream = next(
+            t.name for t in parse(sql).tables if t.name in self._partitioned
+        )
+        ps = self._partitioned[stream]
+        schema = self.catalog.schema_of(stream)
+        plan = plan_partition_query(sql, schema, ps.spec)
+        reply = self._shards.workers[0].request(("schema", name))
+        out_names, atom_values = reply[1]
+        partials = [(n, Atom(a)) for n, a in zip(out_names, atom_values)]
+        finish_merge(plan, partials, verify=False)
+        handle = PartitionedQuery(
+            name=name,
+            sql=sql,
+            mode=entry["mode"],
+            plan=plan,
+            output_names=list(pstate["output_names"]),
+            output_atoms=[Atom(a) for a in pstate["output_atoms"]],
+            partitions=self.partitions,
+            partial_names=list(pstate["partial_names"]),
+            partial_atoms=[Atom(a) for a in pstate["partial_atoms"]],
+        )
+        handle.next_window = pstate["next_window"]
+        handle.progress = [int(x) for x in pstate["progress"]]
+        handle.pending = {
+            int(window): {
+                int(p): (resp, cols) for p, resp, cols in parts
+            }
+            for window, parts in pstate["pending"]
+        }
+        handle.batches = _unpack_batches(pstate["batches"])
+        self._pqueries[name] = handle
+        self._submit_order.append(name)
+
+    def _dedup_wrapper(self, watermark: int):
+        """Sink filter dropping windows the snapshot already emitted."""
+
+        def wrap(sink):
+            def dedup(name: str, batch: ResultBatch) -> None:
+                if batch.window_index <= watermark:
+                    self.profiler.count(COUNTER_RECOVERY_SUPPRESSED)
+                    return
+                sink(name, batch)
+
+            return dedup
+
+        return wrap
+
+    def _replay_record(self, kind: str, payload) -> None:
+        """Apply one journal record through the normal ingest path."""
+        try:
+            if kind == "meta":
+                return
+            if kind == "create_stream":
+                self.create_stream(
+                    payload["name"],
+                    [(c, Atom(a)) for c, a in payload["columns"]],
+                    capacity=payload["capacity"],
+                    overflow=parse_overflow_spec(payload["overflow"])
+                    if payload["overflow"]
+                    else None,
+                    partition_by=payload["partition_by"],
+                )
+            elif kind == "create_table":
+                self.create_table(
+                    payload["name"],
+                    [(c, Atom(a)) for c, a in payload["columns"]],
+                )
+            elif kind == "insert":
+                self.catalog.table(payload["table"]).append_columns(
+                    payload["columns"]
+                )
+            elif kind == "submit":
+                self.submit(
+                    payload["sql"], mode=payload["mode"], name=payload["name"]
+                )
+            elif kind == "remove":
+                self.remove(payload["name"])
+            elif kind == "feed":
+                self.feed(
+                    payload["stream"],
+                    columns=payload["columns"],
+                    timestamps=payload.get("timestamps"),
+                )
+            elif kind == "advance":
+                self.advance_time(payload["stream"], payload["ts"])
+            elif kind == "basket":
+                basket = self._basket_by_name(payload["basket"])
+                if basket is not None:
+                    basket.append_columns(
+                        payload["columns"], payload.get("timestamps")
+                    )
+            else:
+                raise DurabilityError(f"unknown journal record kind {kind!r}")
+        except BasketOverflowError:
+            # The live run continued past this overflow too; the basket
+            # state after the (partial) admission is what we want.
+            pass
+
+    def _basket_by_name(self, name: str) -> Optional[Basket]:
+        for handle in self._queries.values():
+            for basket in handle.baskets.values():
+                if basket.name == name:
+                    return basket
+        return None  # the owning query was removed later in the journal
 
     def partition_stats(self) -> dict:
         """Partition-execution gauges; ``{}`` unless sharding is active.

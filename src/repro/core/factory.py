@@ -532,6 +532,56 @@ class IncrementalFactory(FactoryBase):
             self._store.replace_all(dict(bundle))
 
     # ------------------------------------------------------------------
+    # durability (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable execution state (see :mod:`repro.core.durability`).
+
+        Everything a freshly-submitted twin of this query needs to
+        continue mid-stream: the window counter, per-alias consumed
+        offsets, time-slicer anchors, and the partial stores.  The cached
+        table bundle is *not* captured — it is recomputed lazily from the
+        restored base tables on the first post-restore join step.
+        """
+        state: dict = {
+            "window_index": self.window_index,
+            "initialized": self._initialized,
+            "consumed": dict(self._consumed),
+            "slicers": {
+                alias: [slicer.origin, slicer.consumed_windows]
+                for alias, slicer in self._slicers.items()
+            },
+        }
+        if self.plan.is_join:
+            state["prep_stores"] = {
+                alias: store.snapshot_state()
+                for alias, store in self._prep_stores.items()
+            }
+            state["pairs"] = self._pairs.snapshot_state()
+        else:
+            state["store"] = self._store.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot's execution state (inverse of the above)."""
+        self.window_index = state["window_index"]
+        self._initialized = state["initialized"]
+        self._consumed = {
+            alias: int(offset) for alias, offset in state["consumed"].items()
+        }
+        for alias, (origin, consumed_windows) in state["slicers"].items():
+            slicer = self._slicers[alias]
+            slicer.origin = origin
+            slicer.consumed_windows = consumed_windows
+        if self.plan.is_join:
+            for alias, store in self._prep_stores.items():
+                store.restore_state(state["prep_stores"][alias])
+            self._pairs.restore_state(state["pairs"])
+            self._table_bundle = None
+        else:
+            self._store.restore_state(state["store"])
+
+    # ------------------------------------------------------------------
     # landmark reset (paper §3 "Landmark Window Queries": tuples expire
     # "at most very infrequently, and then all past tuples expire by
     # resetting the global landmark")

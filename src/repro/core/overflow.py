@@ -240,3 +240,17 @@ def parse_overflow_spec(spec: str) -> OverflowPolicy:
         f"bad overflow policy {spec!r} (want fail, block[:timeout], "
         f"shed-oldest, shed-newest, or sample:rate[:seed])"
     )
+
+
+def policy_spec(policy: Optional[OverflowPolicy]) -> Optional[str]:
+    """A spec string :func:`parse_overflow_spec` reconstructs the policy
+    from — the durable form used by checkpoint snapshots and journals.
+
+    Unlike :meth:`OverflowPolicy.describe` (a display label), this keeps
+    ``Sample``'s seed so a restored policy replays the same decisions.
+    """
+    if policy is None:
+        return None
+    if isinstance(policy, Sample):
+        return f"sample:{policy.rate:g}:{policy.seed}"
+    return policy.describe()

@@ -108,6 +108,19 @@ class PartialStore:
     def __len__(self) -> int:
         return len(self._bundles)
 
+    def snapshot_state(self) -> dict:
+        """Serializable image: seq counter + live bundles, oldest first."""
+        return {
+            "next_seq": self._next_seq,
+            "bundles": [[seq, dict(bundle)] for seq, bundle in self._bundles.items()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._next_seq = state["next_seq"]
+        self._bundles = OrderedDict(
+            (int(seq), bundle) for seq, bundle in state["bundles"]
+        )
+
 
 @dataclass
 class PairStore:
@@ -150,6 +163,21 @@ class PairStore:
 
     def __len__(self) -> int:
         return len(self._bundles)
+
+    def snapshot_state(self) -> dict:
+        """Serializable image of the live pair bundles."""
+        return {
+            "bundles": [
+                [left, right, dict(bundle)]
+                for (left, right), bundle in self.live()
+            ]
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._bundles = {
+            (int(left), int(right)): bundle
+            for left, right, bundle in state["bundles"]
+        }
 
 
 # ----------------------------------------------------------------------
@@ -270,3 +298,37 @@ class FragmentCache:
                 group.bundles.clear()
             self.hits = 0
             self.misses = 0
+
+    def snapshot_state(self) -> dict:
+        """Serializable image of every group's entries and the counters.
+
+        Share keys are ``(relation, step, time_based, fingerprint)``
+        tuples of JSON scalars, so they round-trip as lists; spans
+        likewise.  Pending per-span locks are transient and not captured.
+        """
+        with self._lock:
+            groups = []
+            for key, group in self._groups.items():
+                groups.append(
+                    {
+                        "key": list(key),
+                        "capacity": group.capacity,
+                        "bundles": [
+                            [list(span), dict(bundle)]
+                            for span, bundle in group.bundles.items()
+                        ],
+                    }
+                )
+            return {"groups": groups, "hits": self.hits, "misses": self.misses}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot's entries (replacing any current contents)."""
+        with self._lock:
+            self._groups.clear()
+            for entry in state["groups"]:
+                group = _FragmentGroup(entry["capacity"])
+                for span, bundle in entry["bundles"]:
+                    group.bundles[tuple(span)] = bundle
+                self._groups[tuple(entry["key"])] = group
+            self.hits = state["hits"]
+            self.misses = state["misses"]

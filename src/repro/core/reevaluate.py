@@ -78,6 +78,37 @@ class _WindowBuffer:
     def snapshot(self) -> dict[str, BAT]:
         return {name: builder.snapshot() for name, builder in self._builders.items()}
 
+    def snapshot_state(self) -> dict:
+        """Serializable image of the retained window tuples."""
+        state: dict = {
+            "columns": {
+                name: BAT(
+                    np.array(builder.snapshot().tail, copy=True),
+                    builder.atom,
+                    builder.hseq,
+                )
+                for name, builder in self._builders.items()
+            }
+        }
+        if self._ts is not None:
+            state["ts"] = BAT(
+                np.array(self._ts.snapshot().tail, copy=True),
+                self._ts.atom,
+                self._ts.hseq,
+            )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        for name, bat in state["columns"].items():
+            builder = BATBuilder(bat.atom, hseq=bat.hseq)
+            builder.extend(bat.tail)
+            self._builders[name] = builder
+        if self._ts is not None:
+            ts = state["ts"]
+            rebuilt = BATBuilder(ts.atom, hseq=ts.hseq)
+            rebuilt.extend(ts.tail)
+            self._ts = rebuilt
+
 
 class ReevalFactory(FactoryBase):
     """Full re-evaluation of the window on every slide (DataCellR)."""
@@ -154,6 +185,34 @@ class ReevalFactory(FactoryBase):
             else window.size
         )
         return len(basket) >= needed
+
+    # -- durability ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable image for checkpointing (see repro.core.durability)."""
+        return {
+            "window_index": self.window_index,
+            "initialized": self._initialized,
+            "consumed_total": self._consumed_total,
+            "slicers": {
+                alias: [slicer.origin, slicer.consumed_windows]
+                for alias, slicer in self._slicers.items()
+            },
+            "buffers": {
+                alias: buffer.snapshot_state()
+                for alias, buffer in self._buffers.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.window_index = state["window_index"]
+        self._initialized = state["initialized"]
+        self._consumed_total = state["consumed_total"]
+        for alias, (origin, consumed) in state["slicers"].items():
+            slicer = self._slicers[alias]
+            slicer.origin = origin
+            slicer.consumed_windows = consumed
+        for alias, buffer_state in state["buffers"].items():
+            self._buffers[alias].restore_state(buffer_state)
 
     # -- stepping ------------------------------------------------------
     def step(self, profiler: Optional[Profiler] = None) -> Optional[ResultBatch]:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -385,6 +386,60 @@ class Scheduler:
         say *why* they are scanning (finalizing counters at shutdown).
         """
         return self.run_until_idle()
+
+    # -- durability --------------------------------------------------------
+    @contextmanager
+    def quiesced(self):
+        """Hold every firing lock for a consistent checkpoint snapshot.
+
+        Blocks until in-flight firings finish, then keeps all factories
+        parked while the caller gathers state.  Safe against the firing
+        path because a firing never takes ``Scheduler._lock`` (run_once
+        copies the registration list *before* firing), so holding
+        ``_lock`` here while blocking on firing locks cannot deadlock —
+        the order is Scheduler._lock → firing locks, same as ever.
+        """
+        with self._lock:
+            registrations = list(self._registrations.values())
+            acquired: list[threading.Lock] = []
+            try:
+                for registration in registrations:
+                    registration.firing_lock.acquire()
+                    acquired.append(registration.firing_lock)
+                yield
+            finally:
+                for lock in reversed(acquired):
+                    lock.release()
+
+    def steps_snapshot(self) -> dict[str, int]:
+        """Per-factory firing counts; call inside :meth:`quiesced` (the
+        caller already holds every firing lock, which guards ``steps``)."""
+        with self._lock:
+            registrations = dict(self._registrations)
+        return {
+            name: self._read_steps(registration)
+            for name, registration in registrations.items()
+        }
+
+    def _read_steps(self, registration) -> int:  # guarded-by: registration.firing_lock
+        return registration.steps
+
+    def restore_steps(self, name: str, steps: int) -> None:
+        """Adopt a snapshot's firing count for one factory (restore path)."""
+        with self._lock:
+            registration = self._registrations[name]
+        with registration.firing_lock:
+            registration.steps = steps
+
+    def wrap_sinks(self, name: str, wrapper: Callable[[ResultSink], ResultSink]) -> None:
+        """Replace each of a factory's sinks with ``wrapper(sink)``.
+
+        The restore path uses this to interpose the duplicate-emission
+        filter in front of every emitter after a recovery.
+        """
+        with self._lock:
+            registration = self._registrations[name]
+            registration.sinks = [wrapper(sink) for sink in registration.sinks]
 
     def _raise_worker_error(self) -> None:
         with self._lock:

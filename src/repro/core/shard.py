@@ -42,6 +42,7 @@ from repro.core.partition import (
     run_merge,
     sort_concat_columns,
 )
+from repro.core.overflow import parse_overflow_spec, policy_spec
 from repro.core.windows import TS_COLUMN
 from repro.errors import ReproError
 from repro.kernel.atoms import Atom, numpy_dtype
@@ -130,6 +131,66 @@ def _worker_main(conn, init: dict) -> None:
             atoms = [a.value for a in factory.compiled.output_atoms]
         return names, atoms
 
+    def _snapshot_state() -> dict:
+        """This worker's contribution to a coordinator checkpoint.
+
+        The engine image rides the same snapshot/restore protocol the
+        coordinator uses; the worker-local routing tables serialize with
+        durable policy specs (the decl's policy object is a live
+        template, not a checkpointable value).
+        """
+        return {
+            "engine": engine._gather_state(),
+            "streams": [
+                [
+                    stream,
+                    {
+                        "columns": [list(c) for c in decl["columns"]],
+                        "capacity": decl["capacity"],
+                        "overflow": policy_spec(decl["overflow"]),
+                    },
+                ]
+                for stream, decl in streams.items()
+            ],
+            "queries": [
+                [
+                    qname,
+                    {
+                        "qstream": state["qstream"],
+                        "flavor": state["flavor"],
+                        "collected": state["collected"],
+                    },
+                ]
+                for qname, state in queries.items()
+            ],
+            "by_stream": {k: list(v) for k, v in by_stream.items()},
+        }
+
+    def _restore_state(snapshot: dict) -> None:
+        engine._apply_state(snapshot["engine"])
+        streams.clear()
+        queries.clear()
+        by_stream.clear()
+        for stream, decl in snapshot["streams"]:
+            streams[stream] = {
+                "columns": [tuple(c) for c in decl["columns"]],
+                "capacity": decl["capacity"],
+                "overflow": (
+                    parse_overflow_spec(decl["overflow"])
+                    if decl["overflow"]
+                    else None
+                ),
+            }
+        for qname, state in snapshot["queries"]:
+            queries[qname] = {
+                "handle": engine.query(qname),
+                "qstream": state["qstream"],
+                "flavor": state["flavor"],
+                "collected": state["collected"],
+            }
+        for stream, names in snapshot["by_stream"].items():
+            by_stream[stream] = list(names)
+
     def _collect() -> list[tuple]:
         out = []
         for qname, state in queries.items():
@@ -188,6 +249,13 @@ def _worker_main(conn, init: dict) -> None:
                     s["parked"] for s in engine.overload_stats().values()
                 )
                 conn.send(("stats", snapshot["counters"], parked))
+            elif kind == "snapshot":
+                conn.send(("state", _snapshot_state()))
+            elif kind == "restore":
+                _restore_state(msg[1])
+                conn.send(("ok",))
+            elif kind == "schema":
+                conn.send(("ok", _output_schema(queries[msg[1]]["handle"])))
             elif kind == "remove":
                 engine.remove(msg[1])
                 queries.pop(msg[1], None)
@@ -201,7 +269,16 @@ def _worker_main(conn, init: dict) -> None:
                 raise ReproError(f"unknown shard message {kind!r}")
         except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
             detail = f"{type(exc).__name__}: {exc}"
-            if kind in ("submit", "run", "collect", "stats", "close"):
+            if kind in (
+                "submit",
+                "run",
+                "collect",
+                "stats",
+                "snapshot",
+                "restore",
+                "schema",
+                "close",
+            ):
                 conn.send(("error", detail, traceback.format_exc()))
                 if kind == "close":
                     break
@@ -394,6 +471,23 @@ class ShardSet:
         self._closed = True
         for worker in self.workers:
             worker.shutdown()
+
+    def abandon(self) -> None:
+        """Hard-kill every worker (crash simulation; no goodbye handshake).
+
+        Outstanding shared-memory segments are still unlinked — a crash
+        test must not leak ``/dev/shm`` blocks into the next run.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=5)
+            for name in list(worker.outstanding):
+                worker.ack_segments([name])
+            worker.conn.close()
 
 
 # ----------------------------------------------------------------------

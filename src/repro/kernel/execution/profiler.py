@@ -40,6 +40,13 @@ COUNTER_ROWS_EMITTED = "rows_emitted"
 #: Programs the compiled backend handed to the interpreter instead
 #: (unsupported opcode — see kernel.execution.backends).
 COUNTER_COMPILED_FALLBACKS = "compiled_fallbacks"
+#: Durability counters (checkpoint/restore; see docs/OPERATIONS.md §8).
+COUNTER_CHECKPOINTS = "checkpoints"
+COUNTER_CHECKPOINT_BYTES = "checkpoint_bytes"
+COUNTER_JOURNAL_RECORDS = "journal_records"
+COUNTER_JOURNAL_BYTES = "journal_bytes"
+COUNTER_REPLAYED_RECORDS = "replayed_records"
+COUNTER_RECOVERY_SUPPRESSED = "recovery_suppressed"
 
 
 @dataclass

@@ -133,6 +133,10 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"unknown table {name!r}") from None
 
+    def tables(self) -> dict[str, Table]:
+        """All persistent tables, in creation order."""
+        return dict(self._tables)
+
     def has_table(self, name: str) -> bool:
         return name in self._tables
 

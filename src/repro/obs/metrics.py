@@ -36,6 +36,12 @@ BASE_COUNTERS = (
     "worker_errors",
     "tuples_consumed",
     "rows_emitted",
+    "checkpoints",
+    "checkpoint_bytes",
+    "journal_records",
+    "journal_bytes",
+    "replayed_records",
+    "recovery_suppressed",
 )
 
 
@@ -77,6 +83,11 @@ def collect_metrics(engine) -> dict:
         stats = partition()
         if stats:
             metrics["partition"] = stats
+    durability = getattr(engine, "durability_stats", None)
+    if durability is not None:
+        stats = durability()
+        if stats:
+            metrics["durability"] = stats
     if obs is not None:
         metrics["latency"] = obs.latency.snapshot()
         metrics["firing_duration"] = obs.firing_duration.snapshot()
@@ -170,6 +181,12 @@ def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> s
         "tuples_consumed": "Tuples consumed by firings.",
         "rows_emitted": "Result rows emitted by firings.",
         "compiled_fallbacks": "Programs the compiled backend handed back.",
+        "checkpoints": "Consistent checkpoints committed.",
+        "checkpoint_bytes": "Snapshot bytes written by checkpoints.",
+        "journal_records": "Records appended to the input journal.",
+        "journal_bytes": "Bytes appended to the input journal.",
+        "replayed_records": "Journal records replayed during recovery.",
+        "recovery_suppressed": "Duplicate emissions dropped after restore.",
     }
     for counter, help_text in counter_help.items():
         name = f"repro_{counter}_total"
@@ -252,6 +269,40 @@ def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> s
                 counters.get("parked", 0),
                 partition=str(p),
             )
+
+    durability = metrics.get("durability")
+    if durability:
+        w.header(
+            "repro_journal_seq",
+            "gauge",
+            "Highest sequence number appended to the input journal.",
+        )
+        w.sample("repro_journal_seq", durability.get("seq", 0))
+        w.header(
+            "repro_journal_segment_bytes",
+            "gauge",
+            "Bytes in the live (post-checkpoint) journal segment.",
+        )
+        w.sample("repro_journal_segment_bytes", durability.get("journal_bytes", 0))
+        w.header(
+            "repro_checkpoint_snapshot_id",
+            "gauge",
+            "Identifier of the live snapshot (0 = none yet).",
+        )
+        w.sample("repro_checkpoint_snapshot_id", durability.get("snapshot_id", 0))
+        last = durability.get("last_checkpoint") or {}
+        w.header(
+            "repro_last_checkpoint_bytes",
+            "gauge",
+            "Size of the most recent snapshot file.",
+        )
+        w.sample("repro_last_checkpoint_bytes", last.get("bytes", 0))
+        w.header(
+            "repro_last_checkpoint_seconds",
+            "gauge",
+            "Wall-clock duration of the most recent checkpoint.",
+        )
+        w.sample("repro_last_checkpoint_seconds", last.get("seconds", 0.0))
 
     cache = metrics["fragment_cache"]
     w.header(

@@ -20,6 +20,13 @@ Injectors (each wraps the real component and delegates everything else):
 * :class:`SlowFactory` — wraps a factory; every ``every``-th ``step``
   sleeps ``delay`` before executing (a slow operator, the canonical way
   to make producers outrun the scheduler without huge data volumes).
+* :class:`CrashPoint` — a durability fault hook that simulates the
+  process dying (raises :class:`InjectedCrash`) at an exact hook
+  ordinal: mid-segment-append (torn frame on disk), mid-checkpoint
+  (snapshot written, manifest not), or any other
+  :mod:`repro.core.durability` hook point.  The crash-recovery tests
+  sweep the ordinal to kill the engine *everywhere* and assert restore
+  yields exactly-once emissions.
 
 All injectors are thread-safe where the wrapped component is driven from
 scheduler/receptor threads.  :func:`wait_until` is the polling barrier the
@@ -43,6 +50,51 @@ from repro.kernel.execution.profiler import Profiler
 class InjectedFault(ReproError):
     """Raised by fault injectors; never raised by the engine itself, so
     tests can assert a failure came from the harness."""
+
+
+class InjectedCrash(InjectedFault):
+    """Raised by :class:`CrashPoint` to simulate the process dying at an
+    exact durability hook point (the caller abandons the engine next)."""
+
+
+class CrashPoint:
+    """Deterministic process-death injector for durability tests.
+
+    Installed via :meth:`DataCellEngine.install_fault_hook`, it counts the
+    :mod:`repro.core.durability` hook invocations matching ``points`` (all
+    hook points when None) and raises :class:`InjectedCrash` on the
+    ``at``-th (0-based).  Because ``segment.append.torn`` fires *after*
+    the first half of a frame is fsynced, a crash there leaves a torn
+    record on disk — byte-for-byte what a power cut produces — and
+    ``checkpoint.snapshot_written`` kills between the snapshot and the
+    manifest rename, the classic half-committed checkpoint.  The test
+    then calls ``engine.abandon()`` (never ``close()``: a dying process
+    does not flush) and restores from the data dir.
+
+    Deterministic: the ordinal is an exact count, so a failing ``at``
+    replays identically.  ``fired`` records whether the crash triggered,
+    letting kill-anywhere sweeps detect when they have run out of hook
+    points and the workload completed uninterrupted.
+    """
+
+    def __init__(self, at: int, points: Optional[Iterable[str]] = None) -> None:
+        if at < 0:
+            raise ReproError(f"at must be >= 0, got {at}")
+        self.at = at
+        self.points = frozenset(points) if points is not None else None
+        self.seen = 0
+        self.fired = False
+
+    def __call__(self, point: str) -> None:
+        if self.points is not None and point not in self.points:
+            return
+        ordinal = self.seen
+        self.seen += 1
+        if ordinal == self.at:
+            self.fired = True
+            raise InjectedCrash(
+                f"injected crash at {point} (hook ordinal {ordinal})"
+            )
 
 
 def wait_until(

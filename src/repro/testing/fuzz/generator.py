@@ -639,12 +639,14 @@ def build_engine(
     verify_plans: bool = False,
     backend: str = "interpreted",
     partitions: int = 1,
+    data_dir: Optional[str] = None,
 ) -> DataCellEngine:
     """A fresh engine holding the query's streams and (loaded) tables.
 
     ``partitions > 1`` builds a sharded engine and declares every stream
     partitioned by its :attr:`FuzzQuery.partition_key` (the caller is
     responsible for only asking when :attr:`FuzzQuery.partition_ok`).
+    ``data_dir`` makes the engine durable (the ``--crash`` axis).
     """
     engine = DataCellEngine(
         verify_plans=verify_plans,
@@ -652,6 +654,7 @@ def build_engine(
         fragment_sharing=fragment_sharing,
         backend=backend,
         partitions=partitions,
+        data_dir=data_dir,
     )
     for name, cols in query.streams.items():
         key = query.partition_key if partitions > 1 else None

@@ -16,7 +16,11 @@ window is compared across them:
 * ``incremental-partitioned`` — the same query on a separate
   ``partitions=P`` engine (hash-routed shard worker processes plus the
   coordinator's merge, DESIGN.md §14; single-stream non-landmark shapes
-  with a hashable key only).
+  with a hashable key only);
+* ``incremental-crash`` — the same query on a separate *durable* engine
+  that is checkpointed, killed, and restored at deterministic points
+  mid-run (DESIGN.md §15); recovery must reproduce the uninterrupted
+  emission list exactly once.
 
 Configurable axes (workers, fragment sharing, feed chunking, lockcheck,
 execution backend) shake the concurrency, caching, and compilation
@@ -34,6 +38,9 @@ generated).
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -64,6 +71,7 @@ class OracleConfig:
     lockcheck: bool = False  # run under ObservedLock, assert lock order
     backend: str = "interpreted"  # engine execution backend for all legs
     partitions: int = 1  # extra sharded leg when > 1 (partition_ok only)
+    crash: bool = False  # extra durable leg: checkpoint+kill+restore mid-run
 
     def to_json(self) -> dict:
         return {
@@ -76,6 +84,7 @@ class OracleConfig:
             "lockcheck": self.lockcheck,
             "backend": self.backend,
             "partitions": self.partitions,
+            "crash": self.crash,
         }
 
     @staticmethod
@@ -90,9 +99,11 @@ class OracleConfig:
             lockcheck=data.get("lockcheck", False),
             # Pre-backend reproducers carry no "backend" key and replay
             # on the interpreter, exactly as they originally ran; the
-            # same convention keeps pre-partition reproducers at P=1.
+            # same convention keeps pre-partition reproducers at P=1 and
+            # pre-durability reproducers crash-free.
             backend=data.get("backend", "interpreted"),
             partitions=data.get("partitions", 1),
+            crash=data.get("crash", False),
         )
 
     def describe(self) -> str:
@@ -109,6 +120,8 @@ class OracleConfig:
             parts.append(f"backend={self.backend}")
         if self.partitions > 1:
             parts.append(f"partitions={self.partitions}")
+        if self.crash:
+            parts.append("crash")
         return " ".join(parts)
 
 
@@ -270,6 +283,75 @@ def run_partitioned(
         engine.close()
 
 
+def run_crash_leg(
+    query: FuzzQuery, feed: Feed, config: OracleConfig
+) -> list[list[tuple]]:
+    """The durability leg: checkpoint + kill + restore cycles mid-run.
+
+    Runs the query on its own durable P=1 engine and interrupts it twice
+    at deterministic points — once *after feeding but before firing* a
+    middle round (the journal holds input the factories never saw), and
+    once after all input is consumed (results must survive verbatim).  A
+    checkpoint partway through makes the second half replay from the
+    snapshot + journal suffix; the recovery dedup filter must suppress
+    every window emitted before the kill, so the final emission list is
+    exactly the uninterrupted one (exactly-once from the emitter's view).
+    """
+    tmp = tempfile.mkdtemp(prefix="repro-fuzz-crash-")
+    data_dir = os.path.join(tmp, "data")
+    engine = build_engine(query, backend=config.backend, data_dir=data_dir)
+    try:
+        handle = engine.submit(query.sql, name="qx")
+        plans = {
+            name: normalize_chunks(
+                feed.row_count(name),
+                (config.chunk_plan or {}).get(name),
+            )
+            for name in query.streams
+        }
+        offsets = {name: 0 for name in query.streams}
+        rounds = max((len(p) for p in plans.values()), default=0)
+        checkpoint_round = rounds // 3
+        crash_round = (2 * rounds) // 3
+        for index in range(rounds):
+            for name, sizes in plans.items():
+                if index >= len(sizes):
+                    continue
+                lo = offsets[name]
+                hi = lo + sizes[index]
+                offsets[name] = hi
+                columns = {
+                    col: values[lo:hi]
+                    for col, values in feed.columns[name].items()
+                }
+                ts = feed.timestamps.get(name)
+                engine.feed(
+                    name,
+                    columns=columns,
+                    timestamps=ts[lo:hi] if ts is not None else None,
+                )
+            if index == crash_round:
+                # Kill with this round's input journaled but unfired.
+                engine.abandon()
+                engine = DataCellEngine.restore(data_dir)
+                handle = engine.query("qx")
+            engine.run_until_idle()
+            if index == checkpoint_round:
+                engine.checkpoint()
+        for name, watermark in feed.punctuate.items():
+            engine.advance_time(name, watermark)
+        engine.run_until_idle()
+        # Final kill after quiescence: emissions must survive verbatim.
+        engine.abandon()
+        engine = DataCellEngine.restore(data_dir)
+        engine.run_until_idle()
+        handle = engine.query("qx")
+        return [batch.rows() for batch in handle.results()]
+    finally:
+        engine.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResult:
     """Execute every applicable leg and compare all fired windows."""
     windows: dict[str, list[list[tuple]]] = {}
@@ -343,6 +425,9 @@ def run_oracle(query: FuzzQuery, feed: Feed, config: OracleConfig) -> OracleResu
         if partitioned is not None:
             windows["incremental-partitioned"] = partitioned
 
+    if config.crash:
+        windows["incremental-crash"] = run_crash_leg(query, feed, config)
+
     if lock_observer is not None:
         divergences = lock_observer.violations()
         if divergences:
@@ -394,6 +479,7 @@ def compare_windows(
             "systemx",
             "incremental-dup",
             "incremental-partitioned",
+            "incremental-crash",
         ):
             for index, rows in enumerate(windows.get(label, ())):
                 if not check_sorted(rows, reference.order_keys, config.float_tol):

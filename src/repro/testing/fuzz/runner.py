@@ -17,7 +17,9 @@ two integers printed in the banner.  Each iteration:
    ``backend`` axis that runs the engine on the compiled execution
    backend — forceable via ``--backend compiled`` — and a
    ``partitions`` axis that adds a key-partitioned multi-process leg
-   for supported query shapes — forceable via ``--partitions N``);
+   for supported query shapes — forceable via ``--partitions N`` — and
+   a ``crash`` axis that adds a durable leg interrupted by
+   checkpoint/kill/restore cycles mid-run — forceable via ``--crash``);
 4. checks one metamorphic relation (rotating through
    :data:`~repro.testing.fuzz.metamorphic.RELATIONS`).
 
@@ -68,6 +70,7 @@ class FuzzSession:
         lockcheck: bool = False,
         backend: Optional[str] = None,
         partitions: Optional[int] = None,
+        crash: bool = False,
         max_failures: int = 5,
         shrink_runs: int = 60,
         out: Optional[TextIO] = None,
@@ -85,6 +88,9 @@ class FuzzSession:
         #: Forced partition count for the sharded leg; None leaves it to
         #: the random axis (P drawn from {2, 3} on ~1 in 4 iterations).
         self.partitions = partitions
+        #: Force the checkpoint/kill/restore leg on every iteration;
+        #: otherwise drawn as a random axis (~1 in 5 iterations).
+        self.crash = crash
         self.max_failures = max_failures
         self.shrink_runs = shrink_runs
         self.out = out if out is not None else sys.stdout
@@ -163,6 +169,7 @@ class FuzzSession:
                 lockcheck=self.lockcheck,
                 backend=self.backend or "interpreted",
                 partitions=self.partitions or 1,
+                crash=self.crash,
             )
         # New axes draw *after* the existing ones so historical
         # (seed, iteration) pairs keep reproducing the same config.
@@ -195,6 +202,13 @@ class FuzzSession:
             config.partitions = self.partitions
         elif query.partition_ok and rng.random() < 0.25:
             config.partitions = int(rng.choice([2, 3]))
+        # Crash axis: drawn LAST so historical (seed, iteration) pairs —
+        # including saved .repro.json reproducers — replay byte-identical
+        # configs.  A --crash override skips the draw entirely.
+        if self.crash:
+            config.crash = True
+        else:
+            config.crash = bool(rng.random() < 0.20)
         return config
 
     # ------------------------------------------------------------------
@@ -346,6 +360,10 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
                         "many shard workers on every supported query "
                         "(otherwise drawn as a random axis: P in {2, 3} on "
                         "~25%% of iterations)")
+    parser.add_argument("--crash", action="store_true",
+                        help="run the checkpoint/kill/restore durability leg "
+                        "on every iteration (otherwise drawn as a random "
+                        "axis on ~20%% of iterations)")
     parser.add_argument("--replay", metavar="FILE", default=None,
                         help="re-execute a .repro.json reproducer and exit")
     args = parser.parse_args(argv)
@@ -376,6 +394,7 @@ def run_fuzz_cli(argv: list[str], out: Optional[TextIO] = None) -> int:
         lockcheck=args.lockcheck,
         backend=args.backend,
         partitions=args.partitions,
+        crash=args.crash,
         max_failures=args.max_failures,
         shrink_runs=args.shrink_runs,
         out=out,

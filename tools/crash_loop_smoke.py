@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Crash-loop smoke test for ``repro serve --data-dir``.
+
+Starts a durable server, feeds it input through the console, waits for
+the feed to be acknowledged (acknowledged input is journaled input),
+then SIGKILLs the process — no shutdown hooks, no final checkpoint —
+and starts the next cycle against the same data directory.  Every
+restart must recover; after N kill cycles a final clean run must come
+up, answer ``RESULTS``/``METRICS JSON``, report replayed journal
+records, and exit 0, leaving a data directory with a manifest and no
+temp files.
+
+This drills the *process-level* loop (argument parsing, recovery on
+startup, the background checkpointer thread, console wiring) that the
+in-process crash tests in ``tests/test_recovery.py`` cannot see.  Run
+directly or via CI's recovery job:
+
+    python tools/crash_loop_smoke.py --cycles 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+SETUP = """\
+CREATE STREAM s (k int, v int)
+SUBMIT SELECT k, sum(v) AS total FROM s [RANGE 8 SLIDE 8] GROUP BY k
+"""
+
+
+def _write_inputs(workdir: Path, cycles: int, rows_per_cycle: int) -> list[Path]:
+    paths = []
+    for cycle in range(cycles):
+        path = workdir / f"chunk-{cycle}.csv"
+        base = cycle * rows_per_cycle
+        lines = [f"{(base + i) % 5},{base + i}" for i in range(rows_per_cycle)]
+        path.write_text("\n".join(lines) + "\n")
+        paths.append(path)
+    return paths
+
+
+def _serve(data_dir: Path, script: Path | None) -> subprocess.Popen:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--data-dir",
+        str(data_dir),
+        "--checkpoint-interval",
+        "0.5",
+    ]
+    if script is not None:
+        command.append(str(script))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return subprocess.Popen(
+        command,
+        cwd=ROOT,
+        env=env,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_line(process: subprocess.Popen, needle: str, timeout: float = 30.0) -> str:
+    """Read stdout lines until one contains ``needle``; dies on EOF."""
+    deadline = time.monotonic() + timeout
+    lines: list[str] = []
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        lines.append(line.rstrip("\n"))
+        if needle in line:
+            return lines[-1]
+    raise SystemExit(
+        f"FAIL: never saw {needle!r} from serve; output was:\n"
+        + "\n".join(lines)
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=5, help="kill/restart cycles")
+    parser.add_argument("--rows", type=int, default=32, help="rows fed per cycle")
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="run here instead of a throwaway tempdir (kept on failure, "
+        "so CI can upload the data dir as an artifact)",
+    )
+    args = parser.parse_args()
+
+    if args.workdir is not None:
+        os.makedirs(args.workdir, exist_ok=True)
+        return _run(Path(args.workdir), args)
+    with tempfile.TemporaryDirectory(prefix="repro-crash-loop-") as tmp:
+        return _run(Path(tmp), args)
+
+
+def _run(workdir: Path, args: argparse.Namespace) -> int:
+    data_dir = workdir / "data"
+    script = workdir / "setup.dcl"
+    script.write_text(SETUP)
+    chunks = _write_inputs(workdir, args.cycles, args.rows)
+
+    for cycle in range(args.cycles):
+        process = _serve(data_dir, script if cycle == 0 else None)
+        try:
+            _await_line(
+                process,
+                "created durable engine" if cycle == 0 else "recovered engine",
+            )
+            assert process.stdin is not None
+            process.stdin.write(f"FEED s FROM {chunks[cycle]}\n")
+            process.stdin.flush()
+            # The ack means this cycle's rows are journaled; anything
+            # the kill now destroys must be recoverable.
+            _await_line(process, f"fed {args.rows} tuple(s)")
+            # Let the 0.5 s background checkpointer land sometimes, so
+            # cycles alternate snapshot+suffix and journal-only recovery.
+            if cycle % 2:
+                time.sleep(0.8)
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        print(f"cycle {cycle}: fed {args.rows} rows, killed pid {process.pid}")
+
+    process = _serve(data_dir, None)
+    _await_line(process, "recovered engine")
+    assert process.stdin is not None
+    process.stdin.write("RESULTS\nMETRICS JSON\n")
+    process.stdin.flush()
+    process.stdin.close()
+    assert process.stdout is not None
+    output = process.stdout.read()
+    process.wait(timeout=60)
+    print(output)
+    if process.returncode != 0:
+        raise SystemExit(f"FAIL: final serve exited {process.returncode}")
+    if "-- q1:" not in output:
+        raise SystemExit("FAIL: RESULTS did not list the recovered query")
+    snapshot = json.loads(output[output.index("{") :])
+    durability = snapshot.get("durability")
+    if not durability or durability.get("seq", 0) <= 0:
+        raise SystemExit(f"FAIL: no durability stats in metrics: {durability}")
+    replayed = snapshot["counters"].get("replayed_records", 0)
+    if replayed <= 0:
+        raise SystemExit("FAIL: final recovery replayed no journal records")
+
+    leftovers = [
+        str(p.relative_to(data_dir))
+        for p in data_dir.rglob("*")
+        if p.is_file() and p.suffix == ".tmp"
+    ]
+    if leftovers:
+        raise SystemExit(f"FAIL: temp files left in data dir: {leftovers}")
+    if not (data_dir / "MANIFEST.json").exists():
+        raise SystemExit("FAIL: no MANIFEST.json after crash loop")
+
+    print(
+        f"OK: {args.cycles} kill/restart cycles, final recovery replayed "
+        f"{replayed} record(s), data dir clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
