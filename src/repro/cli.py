@@ -43,6 +43,11 @@ worker processes and merges each query's per-partition windows back
 exactly (DESIGN.md §14).  With the default ``--partitions 1`` the
 ``PARTITION BY`` clause is accepted but execution stays in-process.
 
+``--landmark-spill-mb M`` bounds every landmark query's in-memory state
+to roughly M megabytes: cold history is folded and spilled to CRC-framed
+run files, paged back transparently for re-aggregation (DESIGN.md §16).
+``STATS`` then reports per-query hot/disk bytes and spill counters.
+
 ``--backend compiled`` switches the console's engine to the compiled
 execution backend (verified programs specialized into fused callables,
 DESIGN.md §13); the default ``interpreted`` is the op-at-a-time
@@ -122,9 +127,13 @@ class Console:
         backend: str = "interpreted",
         partitions: int = 1,
         engine: Optional[DataCellEngine] = None,
+        landmark_spill_mb: Optional[float] = None,
     ) -> None:
         self.engine = engine if engine is not None else DataCellEngine(
-            workers=workers, backend=backend, partitions=partitions
+            workers=workers,
+            backend=backend,
+            partitions=partitions,
+            landmark_spill_mb=landmark_spill_mb,
         )
         self.capacity = capacity
         self.overflow = overflow
@@ -340,6 +349,16 @@ class Console:
                     f"shed={stats['shed']} block_waits={stats['block_waits']} "
                     f"block_timeouts={stats['block_timeouts']}"
                 )
+        spill = self.engine.landmark_spill_stats()
+        if spill:
+            self.println("-- landmark spill")
+            for name, stats in spill.items():
+                self.println(
+                    f"{name}: hot={stats['hot_bytes']}B/"
+                    f"{stats['budget_bytes']}B disk={stats['disk_bytes']}B "
+                    f"runs={stats['runs']} spills={stats['spills']} "
+                    f"pageins={stats['pageins']}"
+                )
         factories = self.engine.scheduler.factory_stats()
         if factories:
             self.println("-- factories")
@@ -463,6 +482,7 @@ def _run_serve_cli(argv: list[str]) -> int:
     backend = "interpreted"
     capacity: Optional[int] = None
     overflow: Optional[OverflowPolicy] = None
+    landmark_spill_mb: Optional[float] = None
     scripts: list[str] = []
     try:
         index = 0
@@ -472,7 +492,7 @@ def _run_serve_cli(argv: list[str]) -> int:
             if name in (
                 "--data-dir", "--checkpoint-interval", "--checkpoint-bytes",
                 "--workers", "--partitions", "--backend", "--capacity",
-                "--overflow",
+                "--overflow", "--landmark-spill-mb",
             ):
                 if inline:
                     value = inline
@@ -511,6 +531,10 @@ def _run_serve_cli(argv: list[str]) -> int:
                     capacity = int(value)
                     if capacity < 1:
                         raise ValueError("--capacity must be >= 1")
+                elif name == "--landmark-spill-mb":
+                    landmark_spill_mb = float(value)
+                    if landmark_spill_mb <= 0:
+                        raise ValueError("--landmark-spill-mb must be > 0")
                 else:
                     overflow = parse_overflow_spec(value)
             elif name.startswith("--"):
@@ -533,6 +557,7 @@ def _run_serve_cli(argv: list[str]) -> int:
             backend=backend,
             partitions=partitions,
             data_dir=data_dir,
+            landmark_spill_mb=landmark_spill_mb,
         )
         print(f"created durable engine at {data_dir}", file=sys.stderr)
     console = Console(engine=engine, capacity=capacity, overflow=overflow)
@@ -602,7 +627,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     overflow = None
     backend = "interpreted"
     partitions = 1
-    known = ("--workers", "--capacity", "--overflow", "--backend", "--partitions")
+    landmark_spill_mb: Optional[float] = None
+    known = (
+        "--workers", "--capacity", "--overflow", "--backend", "--partitions",
+        "--landmark-spill-mb",
+    )
     while argv and argv[0].startswith("--"):
         flag = argv.pop(0)
         name, __, inline = flag.partition("=")
@@ -628,6 +657,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             elif name == "--capacity":
                 capacity = int(value)
                 if capacity < 1:
+                    raise ValueError
+            elif name == "--landmark-spill-mb":
+                landmark_spill_mb = float(value)
+                if landmark_spill_mb <= 0:
                     raise ValueError
             elif name == "--backend":
                 from repro.kernel.execution.backends import BACKENDS
@@ -658,21 +691,27 @@ def main(argv: Optional[list[str]] = None) -> int:
         overflow=overflow,
         backend=backend,
         partitions=partitions,
+        landmark_spill_mb=landmark_spill_mb,
     )
-    if argv:
-        for path in argv:
-            with open(path) as script:
-                console.run(script)
-        return 0
-    console.println("DataCell console — HELP for commands, QUIT to leave")
     try:
-        while True:
-            line = input("datacell> ")
-            if not console.execute(line):
-                break
-    except (EOFError, KeyboardInterrupt):
-        console.println()
-    return 0
+        if argv:
+            for path in argv:
+                with open(path) as script:
+                    console.run(script)
+            return 0
+        console.println("DataCell console — HELP for commands, QUIT to leave")
+        try:
+            while True:
+                line = input("datacell> ")
+                if not console.execute(line):
+                    break
+        except (EOFError, KeyboardInterrupt):
+            console.println()
+        return 0
+    finally:
+        # Ephemeral engines hold a repro-spill-* tempdir once a spilling
+        # landmark ran; close() is what removes it.
+        console.engine.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

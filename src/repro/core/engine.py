@@ -27,6 +27,8 @@ work).
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -222,9 +224,23 @@ class DataCellEngine:
         backend: str = "interpreted",
         partitions: int = 1,
         data_dir: Optional[str] = None,
+        landmark_spill_mb: Optional[float] = None,
     ) -> None:
         if partitions < 1:
             raise ReproError("partitions must be >= 1")
+        if landmark_spill_mb is not None and landmark_spill_mb <= 0:
+            raise ReproError("landmark_spill_mb must be > 0")
+        #: Bounded-memory landmark state (DESIGN.md §16): when set, every
+        #: single-stream landmark query keeps a hot in-memory suffix of
+        #: partials within this byte budget and spills folded cold history
+        #: to CRC-framed run files, paged back only for re-aggregation.
+        self.landmark_spill_mb = landmark_spill_mb
+        # Lazily-created tempdir root for ephemeral (no data_dir) engines'
+        # spill runs; durable engines spill under <data_dir>/spill/.
+        self._spill_root: Optional[str] = None
+        # Fault-injection hook forwarded to spilling stores (and the
+        # durability manager) — see install_fault_hook.
+        self._fault_hook = None
         if verify_plans is None:
             flag = os.environ.get("REPRO_VERIFY_PLANS", "")
             verify_plans = flag.strip().lower() in ("1", "true", "yes", "on")
@@ -283,6 +299,7 @@ class DataCellEngine:
                 backend=backend,
                 verify_plans=False,  # the coordinator verifies once
                 fragment_sharing=fragment_sharing,
+                landmark_spill_mb=landmark_spill_mb,
             )
         #: Durability (DESIGN.md §15): a data_dir arms the write-ahead
         #: journal; every state-changing call below appends a record
@@ -319,6 +336,7 @@ class DataCellEngine:
             "fragment_sharing": self.fragment_sharing,
             "observability": self.obs is not None,
             "verify_plans": self.verify_plans,
+            "landmark_spill_mb": self.landmark_spill_mb,
         }
 
     def _dur_guard(self):
@@ -535,7 +553,10 @@ class DataCellEngine:
             from repro.analysis.resources import analyze_resources
 
             resources = analyze_resources(
-                plan, self._stream_limits, subject=query_name
+                plan,
+                self._stream_limits,
+                subject=query_name,
+                landmark_spill_mb=self.landmark_spill_mb,
             )
             if self.verify_plans and not resources.ok:
                 raise ReproError(
@@ -562,6 +583,18 @@ class DataCellEngine:
             factory = IncrementalFactory(
                 plan, baskets, tables, name=query_name, backend=self.backend
             )
+            if (
+                self.landmark_spill_mb is not None
+                and not plan.is_join
+                and plan.windows
+                and all(w.is_landmark for w in plan.windows.values())
+            ):
+                factory.enable_landmark_spill(
+                    self._spill_dir_for(query_name),
+                    int(self.landmark_spill_mb * 1024 * 1024),
+                    fault_hook=self._fault_hook,
+                    profiler=self.profiler,
+                )
             if (
                 self.fragment_sharing
                 and plan.fragment is not None
@@ -689,6 +722,109 @@ class DataCellEngine:
             self.fragment_cache, key, self._stream_fed.get(relation, 0)
         )
 
+    # -- landmark spill plumbing (DESIGN.md §16) -----------------------
+    def _spill_dir_for(self, query_name: str) -> str:
+        """This query's private spill directory.
+
+        Durable engines spill under ``<data_dir>/spill/<query>`` so runs
+        survive a crash alongside the journal; ephemeral engines use a
+        lazily-created tempdir removed on :meth:`close`/:meth:`abandon`.
+        """
+        if self._dur is not None:
+            return os.path.join(self._dur.data_dir, "spill", query_name)
+        if self._spill_root is None:
+            self._spill_root = tempfile.mkdtemp(prefix="repro-spill-")
+        return os.path.join(self._spill_root, query_name)
+
+    def _drop_spill_dir(self, name: str) -> None:
+        """Remove a query's spill directory (query removal)."""
+        if self._dur is not None:
+            shutil.rmtree(
+                os.path.join(self._dur.data_dir, "spill", name),
+                ignore_errors=True,
+            )
+        if self._spill_root is not None:
+            shutil.rmtree(
+                os.path.join(self._spill_root, name), ignore_errors=True
+            )
+
+    def _prune_spill_dirs(self) -> None:
+        """Post-restore sweep: drop spill files nothing references.
+
+        A crash can leave behind run files written after the snapshot
+        (replay regenerates them deterministically under the same names,
+        so whatever is still unreferenced now is garbage), ``.tmp``
+        leftovers from torn renames, and whole directories of queries
+        removed later in the journal.
+        """
+        for handle in self._queries.values():
+            factory = handle.factory
+            if isinstance(factory, IncrementalFactory):
+                factory.prune_spill()
+        if self._dur is not None:
+            root = os.path.join(self._dur.data_dir, "spill")
+            try:
+                names = os.listdir(root)
+            except FileNotFoundError:
+                return
+            for entry in names:
+                if entry not in self._queries:
+                    shutil.rmtree(os.path.join(root, entry), ignore_errors=True)
+
+    def landmark_spill_stats(self) -> dict[str, dict]:
+        """Per-query landmark spill gauges; ``{}`` when nothing spills.
+
+        Each entry reports the byte budget, hot in-memory bytes/bundles,
+        on-disk run count and bytes, and lifetime spill/page-in counters
+        (surfaced in :meth:`metrics` under ``"landmark_spill"`` and as
+        ``repro_landmark_spill_*`` Prometheus families, docs/METRICS.md).
+        """
+        stats: dict[str, dict] = {}
+        for name, handle in self._queries.items():
+            factory = handle.factory
+            if isinstance(factory, IncrementalFactory):
+                per = factory.landmark_spill_stats()
+                if per is not None:
+                    stats[name] = per
+        return stats
+
+    def reset_landmark(self, name: str) -> None:
+        """Restart a landmark query's window from *now* (journaled).
+
+        Discards the query's accumulated landmark state — spilled runs
+        included — and re-anchors the window at the next unconsumed
+        tuple.  The reset is written to the journal **before** this
+        returns, so a crash after a reset can never resurrect the
+        pre-reset partials and re-emit stale windows on recovery.
+
+        The engine first drives to quiescence: a reset's effect depends
+        on how much input was *consumed* before it, and journal replay
+        fires factories only at explicit run points — pinning the reset
+        at a quiescent point makes the live run and its replay consume
+        the same prefix before resetting.
+        """
+        with self._dur_guard():
+            self.run_until_idle()
+            with self.scheduler.quiesced():
+                self._reset_landmark_impl(name)
+            if self._dur is not None:
+                self._dur.journal("reset_landmark", {"name": name})
+
+    def _reset_landmark_impl(self, name: str) -> None:
+        if name in self._pqueries:
+            raise UnsupportedQueryError(
+                "reset_landmark is not supported on partitioned queries; "
+                "remove and resubmit instead"
+            )
+        handle = self._queries.get(name)
+        if handle is None:
+            raise CatalogError(f"unknown query {name!r}")
+        if not isinstance(handle.factory, IncrementalFactory):
+            raise UnsupportedQueryError(
+                "reset_landmark needs an incremental query"
+            )
+        handle.factory.reset_landmark()
+
     def remove(self, name: str) -> None:
         """Unregister a continuous query and release its baskets."""
         with self._dur_guard():
@@ -713,6 +849,7 @@ class DataCellEngine:
             for baskets in self._stream_baskets.values():
                 if basket in baskets:
                     baskets.remove(basket)
+        self._drop_spill_dir(name)
 
     def query(self, name: str):
         if name in self._pqueries:
@@ -1066,6 +1203,14 @@ class DataCellEngine:
             self._shards.close()
         if self._dur is not None:
             self._dur.close()
+        self._drop_spill_root()
+
+    def _drop_spill_root(self) -> None:
+        """Remove the ephemeral spill tempdir (non-durable engines only —
+        durable engines keep ``<data_dir>/spill/`` for restore)."""
+        if self._spill_root is not None:
+            shutil.rmtree(self._spill_root, ignore_errors=True)
+            self._spill_root = None
 
     # ------------------------------------------------------------------
     # durability: checkpoint / restore (DESIGN.md §15)
@@ -1124,6 +1269,8 @@ class DataCellEngine:
             observability=meta["observability"],
             backend=meta["backend"],
             partitions=meta["partitions"],
+            # .get(): journals written before spilling existed lack the key.
+            landmark_spill_mb=meta.get("landmark_spill_mb"),
         )
         engine._adopt_durability(dur)
         last_seq = horizon
@@ -1137,6 +1284,7 @@ class DataCellEngine:
                 replayed += 1
             if replayed:
                 engine.profiler.count(COUNTER_REPLAYED_RECORDS, replayed)
+        engine._prune_spill_dirs()
         dur.resume(last_seq)
         return engine
 
@@ -1162,6 +1310,8 @@ class DataCellEngine:
             self._shards.abandon()
         if self._dur is not None:
             self._dur.close()
+        # Ephemeral spill state is unrecoverable anyway; don't leak tmpdirs.
+        self._drop_spill_root()
 
     def durability_stats(self) -> dict:
         """Journal/checkpoint gauges; ``{}`` when durability is off."""
@@ -1170,16 +1320,27 @@ class DataCellEngine:
         return self._dur.stats()
 
     def install_fault_hook(self, hook) -> None:
-        """Test seam: called at every durability HOOK_* point.
+        """Test seam: called at every durability and spill HOOK_* point.
 
         The crash-recovery tests install a
         :class:`~repro.testing.faults.CrashPoint` here to simulate the
         process dying mid-append or mid-checkpoint (the hook raises;
-        the test abandons the engine and restores the data dir).
+        the test abandons the engine and restores the data dir).  The
+        same hook is forwarded to every spilling landmark store, so one
+        ordinal sweep covers journal, checkpoint, and spill effects in a
+        single deterministic sequence.
         """
-        if self._dur is None:
-            raise ReproError("install_fault_hook needs a durable engine")
-        self._dur.fault_hook = hook
+        if self._dur is None and self.landmark_spill_mb is None:
+            raise ReproError(
+                "install_fault_hook needs a durable or spilling engine"
+            )
+        if self._dur is not None:
+            self._dur.fault_hook = hook
+        self._fault_hook = hook
+        for handle in self._queries.values():
+            factory = handle.factory
+            if isinstance(factory, IncrementalFactory):
+                factory.set_fault_hook(hook)
 
     def _gather_state(self) -> dict:
         """The full engine image one snapshot frame carries.
@@ -1424,6 +1585,8 @@ class DataCellEngine:
                 )
             elif kind == "advance":
                 self.advance_time(payload["stream"], payload["ts"])
+            elif kind == "reset_landmark":
+                self.reset_landmark(payload["name"])
             elif kind == "basket":
                 basket = self._basket_by_name(payload["basket"])
                 if basket is not None:

@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.basket import Basket
+from repro.core.landmark import SpillingStore
 from repro.core.partials import Bundle, FragmentCache, PairStore, PartialStore, ShareKey
 from repro.core.rewriter.incremental import IncrementalPlan, packed, prep_slot
 from repro.errors import SchedulerError, UnsupportedQueryError
@@ -485,7 +486,10 @@ class IncrementalFactory(FactoryBase):
         packed_cols = self._pack_flows(bundles, profiler)
         combined = self._interp.run(self.plan.combine, packed_cols, profiler)
         bundle = {flow.name: combined[flow.name] for flow in self.plan.flows}
-        if self._compactable:
+        if self._compactable and not self._spilling:
+            # A spilling store manages its own folding (hot-suffix
+            # compaction + cold runs); collapsing to the combined bundle
+            # here would pull every spilled byte back into memory.
             self._compact_landmark(bundle)
         outputs = self._interp.run(self.plan.finalize, bundle, profiler)
         columns = {
@@ -502,6 +506,76 @@ class IncrementalFactory(FactoryBase):
     @property
     def _is_landmark(self) -> bool:
         return any(w.is_landmark for w in self.plan.windows.values())
+
+    @property
+    def _spilling(self) -> bool:
+        return not self.plan.is_join and isinstance(self._store, SpillingStore)
+
+    # -- bounded-memory landmark state (cold-history spill) -------------
+    def enable_landmark_spill(
+        self,
+        spill_dir: str,
+        budget_bytes: int,
+        fault_hook=None,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
+        """Swap the unbounded landmark store for a bounded spilling one.
+
+        Single-stream all-landmark plans only: joins keep per-pair
+        partials whose expiry the spill store does not model.  Must be
+        enabled before the factory consumes any input.
+        """
+        if self.plan.is_join or not self._compactable:
+            raise UnsupportedQueryError(
+                "landmark spilling needs a single-stream landmark window"
+            )
+        if len(self._store):
+            raise SchedulerError(
+                "cannot enable landmark spilling on a non-empty store"
+            )
+        self._store = SpillingStore(
+            spill_dir,
+            budget_bytes,
+            fold=self._fold_bundles,
+            fault_hook=fault_hook,
+            profiler=profiler,
+        )
+
+    def _fold_bundles(self, bundles: list[Bundle]) -> Bundle:
+        """Fold a bundle prefix through the combine program.
+
+        Sound for any prefix: combine is an associative n-ary merge by
+        construction — it runs over a varying number of live bundles
+        every firing, and landmark compaction already feeds its output
+        back as a later input — so pre-merging cold history preserves
+        the final merged result bit-for-bit.
+        """
+        profiler = Profiler()
+        packed_cols = self._pack_flows(bundles, profiler)
+        combined = self._interp.run(self.plan.combine, packed_cols, profiler)
+        return {flow.name: combined[flow.name] for flow in self.plan.flows}
+
+    def set_fault_hook(self, hook) -> None:
+        """Install (or clear) the fault-injection hook on the spill store."""
+        if self._spilling:
+            self._store.fault_hook = hook
+
+    def landmark_spill_stats(self) -> Optional[dict]:
+        """Spill gauges when this factory runs a spilling landmark store."""
+        if self._spilling:
+            return self._store.stats()
+        return None
+
+    def prune_spill(self) -> None:
+        """Drop spill files not referenced by the current run list.
+
+        Called once after a restore: a crash may leave behind run files
+        written after the snapshot (they are regenerated deterministically
+        under the same names during journal-driven replay, so anything
+        unreferenced by then is garbage) and ``.tmp`` leftovers.
+        """
+        if self._spilling:
+            self._store._prune_unreferenced()
 
     @property
     def _compactable(self) -> bool:
@@ -590,10 +664,19 @@ class IncrementalFactory(FactoryBase):
         """Move the landmark to now: discard all accumulated partials.
 
         The next result covers only tuples arriving after the reset.  Only
-        valid for landmark queries.
+        valid for queries whose *every* window is landmark: on a mixed
+        landmark ⋈ sliding join the reset would also discard the sliding
+        side's partials — windows that have not expired and must keep
+        contributing — so that shape is rejected instead of silently
+        corrupting the sliding state.
         """
         if not self._is_landmark:
             raise UnsupportedQueryError("reset_landmark needs a landmark window")
+        if not self._compactable:
+            raise UnsupportedQueryError(
+                "reset_landmark on a landmark/sliding join would discard the "
+                "sliding side's live partials; resubmit the query instead"
+            )
         if self.plan.is_join:
             for alias, store in self._prep_stores.items():
                 capacity = self.plan.windows[alias].basic_windows
@@ -603,6 +686,8 @@ class IncrementalFactory(FactoryBase):
                 self.plan.windows[left].basic_windows if left in self.plan.windows else 0,
                 self.plan.windows[right].basic_windows if right in self.plan.windows else 0,
             )
+        elif self._spilling:
+            self._store.reset()  # drops hot state and spilled runs alike
         else:
             alias = self.plan.stream_aliases[0]
             self._store = PartialStore(self.plan.windows[alias].basic_windows)

@@ -254,8 +254,11 @@ def plan_partition_query(sql: str, schema: Schema, spec: PartitionSpec) -> Shard
     """Classify + rewrite one submitted query for sharded execution.
 
     Raises :class:`UnsupportedQueryError` for shapes that cannot be
-    merged back faithfully (joins, landmark windows, DISTINCT+LIMIT,
-    DISTINCT with non-output ORDER BY keys).
+    merged back faithfully (joins, DISTINCT+LIMIT, DISTINCT with
+    non-output ORDER BY keys).  Landmark windows partition fine — their
+    cumulative per-partition slices merge window-for-window through the
+    same concat / re-aggregate routes as sliding windows (see
+    :func:`_aligned_window`).
     """
     query = parse(sql)
     if len(query.tables) != 1:
@@ -270,11 +273,6 @@ def plan_partition_query(sql: str, schema: Schema, spec: PartitionSpec) -> Shard
         )
     if table.window is None:
         raise UnsupportedQueryError("continuous queries need a window clause")
-    if table.window.kind == "landmark":
-        raise UnsupportedQueryError(
-            "landmark windows are not supported on partitioned streams "
-            "(their unbounded state cannot be re-merged incrementally)"
-        )
     if query.distinct and query.limit is not None:
         raise UnsupportedQueryError(
             "DISTINCT with LIMIT is not supported on partitioned streams"
@@ -299,9 +297,26 @@ def plan_partition_query(sql: str, schema: Schema, spec: PartitionSpec) -> Shard
 
 
 def _aligned_window(clause: WindowClause) -> tuple[WindowClause, str]:
-    """The cross-partition-aligned window and its timestamp flavor."""
+    """The cross-partition-aligned window and its timestamp flavor.
+
+    Landmark windows partition like any other: each worker accumulates
+    its routed subset's cumulative partials, and because every
+    partition's window boundaries sit on the same (virtual or real)
+    time axis, the coordinator's per-window concat / re-aggregate merge
+    sees aligned, mergeable landmark slices — the per-partition state
+    need not be re-merged *incrementally*, only per emitted window.
+    """
     if clause.time_based:
         return clause, "time"
+    if clause.kind == "landmark":
+        # Count-based landmark: no size, only the slide moves onto the
+        # virtual arrival-sequence axis.
+        return (
+            WindowClause(
+                "landmark", None, clause.step * VIRTUAL_TICK_US, time_based=True
+            ),
+            "virtual",
+        )
     assert clause.size is not None
     return (
         WindowClause(

@@ -67,6 +67,7 @@ def _worker_main(conn, init: dict) -> None:
         fragment_sharing=init["fragment_sharing"],
         observability=False,
         backend=init["backend"],
+        landmark_spill_mb=init.get("landmark_spill_mb"),
     )
     streams: dict[str, dict] = {}  # stream -> decl
     queries: dict[str, dict] = {}  # qname -> state
@@ -360,6 +361,7 @@ class ShardSet:
         backend: str,
         verify_plans: bool,
         fragment_sharing: bool,
+        landmark_spill_mb=None,
     ) -> None:
         import multiprocessing as mp
 
@@ -372,6 +374,10 @@ class ShardSet:
             "backend": backend,
             "verify_plans": verify_plans,
             "fragment_sharing": fragment_sharing,
+            # Workers spill landmark cold history too: each worker engine
+            # is ephemeral, so its runs land in a private tempdir removed
+            # by the worker's close path.
+            "landmark_spill_mb": landmark_spill_mb,
         }
         self.workers = [
             ShardWorkerProxy(ctx, p, init) for p in range(partitions)

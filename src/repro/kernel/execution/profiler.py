@@ -40,13 +40,19 @@ COUNTER_ROWS_EMITTED = "rows_emitted"
 #: Programs the compiled backend handed to the interpreter instead
 #: (unsupported opcode — see kernel.execution.backends).
 COUNTER_COMPILED_FALLBACKS = "compiled_fallbacks"
-#: Durability counters (checkpoint/restore; see docs/OPERATIONS.md §8).
+#: Durability counters (checkpoint/restore; see docs/OPERATIONS.md §7).
 COUNTER_CHECKPOINTS = "checkpoints"
 COUNTER_CHECKPOINT_BYTES = "checkpoint_bytes"
 COUNTER_JOURNAL_RECORDS = "journal_records"
 COUNTER_JOURNAL_BYTES = "journal_bytes"
 COUNTER_REPLAYED_RECORDS = "replayed_records"
 COUNTER_RECOVERY_SUPPRESSED = "recovery_suppressed"
+#: Landmark spill counters (bounded-memory landmark store; see
+#: docs/OPERATIONS.md §8 and docs/METRICS.md).
+COUNTER_LANDMARK_SPILL_RUNS = "landmark_spill_runs"
+COUNTER_LANDMARK_SPILL_BYTES = "landmark_spill_bytes"
+COUNTER_LANDMARK_PAGEINS = "landmark_spill_pageins"
+COUNTER_LANDMARK_PAGEIN_BYTES = "landmark_spill_pagein_bytes"
 
 
 @dataclass

@@ -42,6 +42,10 @@ BASE_COUNTERS = (
     "journal_bytes",
     "replayed_records",
     "recovery_suppressed",
+    "landmark_spill_runs",
+    "landmark_spill_bytes",
+    "landmark_spill_pageins",
+    "landmark_spill_pagein_bytes",
 )
 
 
@@ -88,6 +92,11 @@ def collect_metrics(engine) -> dict:
         stats = durability()
         if stats:
             metrics["durability"] = stats
+    spill = getattr(engine, "landmark_spill_stats", None)
+    if spill is not None:
+        stats = spill()
+        if stats:
+            metrics["landmark_spill"] = stats
     if obs is not None:
         metrics["latency"] = obs.latency.snapshot()
         metrics["firing_duration"] = obs.firing_duration.snapshot()
@@ -187,6 +196,10 @@ def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> s
         "journal_bytes": "Bytes appended to the input journal.",
         "replayed_records": "Journal records replayed during recovery.",
         "recovery_suppressed": "Duplicate emissions dropped after restore.",
+        "landmark_spill_runs": "Cold landmark runs spilled to disk.",
+        "landmark_spill_bytes": "Bytes written to landmark spill runs.",
+        "landmark_spill_pageins": "Spilled landmark runs paged back in.",
+        "landmark_spill_pagein_bytes": "Bytes read back from spill runs.",
     }
     for counter, help_text in counter_help.items():
         name = f"repro_{counter}_total"
@@ -303,6 +316,23 @@ def render_prometheus(metrics: dict, obs: Optional["Observability"] = None) -> s
             "Wall-clock duration of the most recent checkpoint.",
         )
         w.sample("repro_last_checkpoint_seconds", last.get("seconds", 0.0))
+
+    spill = metrics.get("landmark_spill")
+    if spill:
+        spill_gauges = (
+            ("hot_bytes", "repro_landmark_spill_hot_bytes",
+             "In-memory landmark partial bytes (hot suffix)."),
+            ("budget_bytes", "repro_landmark_spill_budget_bytes",
+             "Configured per-query hot-state byte budget."),
+            ("disk_bytes", "repro_landmark_spill_disk_bytes",
+             "Bytes held in a query's on-disk spill runs."),
+            ("runs", "repro_landmark_spill_run_files",
+             "Spill run files currently on disk for a query."),
+        )
+        for key, name, help_text in spill_gauges:
+            w.header(name, "gauge", help_text)
+            for qname, stats in sorted(spill.items()):
+                w.sample(name, stats.get(key, 0), query=qname)
 
     cache = metrics["fragment_cache"]
     w.header(

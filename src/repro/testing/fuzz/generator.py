@@ -180,14 +180,16 @@ class FuzzQuery:
         return None
 
     @property
+    def has_landmark(self) -> bool:
+        return any(g.kind == "landmark" for g in self.windows.values())
+
+    @property
     def partition_ok(self) -> bool:
-        """Sharded execution covers single-stream, non-landmark queries
-        with a hashable key; DISTINCT+ORDER BY stays out because the
-        merge only supports order keys that appear in the output list."""
+        """Sharded execution covers single-stream queries with a hashable
+        key — landmark included since the partitioned-landmark rework;
+        DISTINCT+ORDER BY stays out because the merge only supports order
+        keys that appear in the output list."""
         if len(self.aliases) != 1 or self.tables:
-            return False
-        geometry = next(iter(self.windows.values()))
-        if geometry.kind == "landmark":
             return False
         if self.distinct and self.order_by:
             return False
@@ -640,13 +642,16 @@ def build_engine(
     backend: str = "interpreted",
     partitions: int = 1,
     data_dir: Optional[str] = None,
+    landmark_spill_mb: Optional[float] = None,
 ) -> DataCellEngine:
     """A fresh engine holding the query's streams and (loaded) tables.
 
     ``partitions > 1`` builds a sharded engine and declares every stream
     partitioned by its :attr:`FuzzQuery.partition_key` (the caller is
     responsible for only asking when :attr:`FuzzQuery.partition_ok`).
-    ``data_dir`` makes the engine durable (the ``--crash`` axis).
+    ``data_dir`` makes the engine durable (the ``--crash`` axis);
+    ``landmark_spill_mb`` arms bounded-memory landmark state so the
+    crash/partition legs also exercise the spill paths.
     """
     engine = DataCellEngine(
         verify_plans=verify_plans,
@@ -655,6 +660,7 @@ def build_engine(
         backend=backend,
         partitions=partitions,
         data_dir=data_dir,
+        landmark_spill_mb=landmark_spill_mb,
     )
     for name, cols in query.streams.items():
         key = query.partition_key if partitions > 1 else None

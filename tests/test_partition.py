@@ -24,6 +24,7 @@ import pytest
 
 from repro import DataCellEngine
 from repro.core.partition import (
+    VIRTUAL_TICK_US,
     PartitionSpec,
     partition_hash,
     plan_partition_query,
@@ -124,8 +125,33 @@ class TestShardPlan:
     def test_unsupported_shapes(self):
         with pytest.raises(UnsupportedQueryError):
             plan_partition_query(
-                "SELECT k, v FROM s [LANDMARK SLIDE 4]", SCHEMA, SPEC
+                "SELECT DISTINCT v FROM s [RANGE 4 SLIDE 4] LIMIT 3",
+                SCHEMA,
+                SPEC,
             )
+
+    def test_landmark_routes(self):
+        # Landmark partitions since the spill/partition rework: cumulative
+        # per-partition slices merge window-for-window like sliding ones.
+        plan = plan_partition_query(
+            "SELECT k, v FROM s [LANDMARK SLIDE 4]", SCHEMA, SPEC
+        )
+        assert plan.route == "concat"
+        assert plan.flavor == "virtual"
+        window = plan.partition_query.tables[0].window
+        assert window.kind == "landmark" and window.size is None
+        assert window.time_based and window.step == 4 * VIRTUAL_TICK_US
+        plan = plan_partition_query(
+            "SELECT sum(v) AS t FROM s [LANDMARK SLIDE 4]", SCHEMA, SPEC
+        )
+        assert plan.route == "re-aggregate"
+        plan = plan_partition_query(
+            "SELECT k, sum(v) AS t FROM s [LANDMARK SLIDE 4] GROUP BY k",
+            SCHEMA,
+            SPEC,
+        )
+        # Grouped by the key: partitions own disjoint groups, merge-free.
+        assert plan.route == "concat" and plan.merge is None
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +448,56 @@ class TestDifferentialTimeWindows:
         )
 
 
+class TestLandmarkPartitioned:
+    """Landmark windows on key-partitioned streams (DESIGN.md §16).
+
+    Landmark never expires input, so per-partition cumulative slices
+    merge per *aligned window* rather than incrementally: each route is
+    exercised P=4 vs P=1, window-for-window.
+    """
+
+    @pytest.mark.parametrize("mode", ["incremental", "reeval"])
+    def test_global_aggregates_re_aggregate_route(self, mode):
+        run_differential(
+            "SELECT sum(v) AS t, count(*) AS n, avg(x) AS m, max(v) AS hi "
+            "FROM s [LANDMARK SLIDE 8]",
+            make_rows(48, seed=6),
+            partitions=4,
+            mode=mode,
+            chunks=[11, 13, 24],
+        )
+
+    def test_grouped_by_key_merge_free(self):
+        run_differential(
+            "SELECT k, sum(v) AS t, count(*) AS n "
+            "FROM s [LANDMARK SLIDE 8] GROUP BY k",
+            make_rows(48, seed=7),
+            partitions=4,
+            chunks=[9, 17, 22],
+        )
+
+    def test_select_only_concat_route(self):
+        run_differential(
+            "SELECT k, v FROM s [LANDMARK SLIDE 6] WHERE v > 40",
+            make_rows(36, seed=8),
+            partitions=4,
+        )
+
+    def test_time_landmark(self):
+        rows = make_rows(30, seed=9)
+        ts = sorted(
+            int(t) for t in np.random.default_rng(10).integers(0, 40_000, 30)
+        )
+        run_differential(
+            "SELECT count(*) AS n, sum(v) AS t "
+            "FROM s [LANDMARK SLIDE 10 MILLISECONDS]",
+            rows,
+            partitions=4,
+            timestamps=ts,
+            chunks=[7, 11, 12],
+        )
+
+
 # ----------------------------------------------------------------------
 # lifecycle: shared memory, stats, unsupported surfaces
 # ----------------------------------------------------------------------
@@ -487,8 +563,9 @@ class TestLifecycle:
                     "SELECT s.v, t.w FROM s [RANGE 4 SLIDE 4], t [RANGE 4 SLIDE 4] "
                     "WHERE s.k = t.k"
                 )
-            with pytest.raises(UnsupportedQueryError):
-                engine.submit("SELECT k, v FROM s [LANDMARK SLIDE 4]")
+            # Landmark submits are accepted since the partitioned-landmark
+            # rework (see TestLandmarkPartitioned).
+            engine.submit("SELECT k, v FROM s [LANDMARK SLIDE 4]")
             q = engine.submit("SELECT sum(v) AS t FROM s [RANGE 4 SLIDE 4]")
             with pytest.raises(UnsupportedQueryError):
                 engine.receptor(q, "s")

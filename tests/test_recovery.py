@@ -273,15 +273,183 @@ def test_crash_between_feed_and_fire(tmp_path):
         engine.close()
 
 
+def test_reset_landmark_is_journaled(tmp_path):
+    """Regression: ``reset_landmark`` must write a journal record.
+
+    It mutates query state outside the feed path, so without a record
+    a crash after the reset replays the feeds with the reset missing —
+    recovery resurrects the discarded cumulative partials and re-emits
+    post-reset windows with pre-reset totals.
+    """
+    data_dir = tmp_path / "dd"
+    engine = DataCellEngine(data_dir=str(data_dir))
+    try:
+        engine.create_stream("s", [("v", "int")])
+        handle = engine.submit(
+            "SELECT sum(v) AS t FROM s [LANDMARK SLIDE 4]", name="q"
+        )
+        engine.feed("s", columns={"v": np.arange(12, dtype=np.int64)})
+        engine.run_until_idle()
+        engine.reset_landmark("q")
+        engine.feed(
+            "s", columns={"v": np.asarray([10, 20, 30, 40], dtype=np.int64)}
+        )
+        engine.run_until_idle()
+        expected = [batch.rows() for batch in handle.results()]
+        # Window 4 covers only post-reset tuples: 10+20+30+40, not the
+        # cumulative 66+100 an unreset landmark would report.
+        assert expected[-1] == [(100,)]
+        engine.abandon()  # die without flushing, like SIGKILL
+
+        engine = DataCellEngine.restore(str(data_dir))
+        engine.run_until_idle()
+        got = [batch.rows() for batch in engine.query("q").results()]
+        assert got == expected
+    finally:
+        engine.close()
+
+
+def test_reset_landmark_crash_sweep(tmp_path):
+    """Kill-anywhere over a workload that resets mid-stream.
+
+    Every durability hook ordinal in turn, with a ``reset_landmark``
+    issued halfway through the feed: the restored engine must replay
+    the reset at the same consumption point and converge on the same
+    emission list as an unkilled run.
+    """
+    sql = "SELECT sum(v) AS t FROM s [LANDMARK SLIDE 4]"
+    values = np.arange(28, dtype=np.int64)
+
+    def drive(engine) -> None:
+        total = len(values)
+        while True:
+            lo = engine._stream_fed.get("s", 0)
+            if lo == total // 2:
+                # Issued at a round boundary so a crashed run resuming
+                # at this offset re-issues it: the reset pins itself at
+                # a quiescent point, making the re-issue an idempotent
+                # no-op when the journal already replayed it, while a
+                # run whose reset record never became durable gets the
+                # reset applied on the retry.
+                engine.reset_landmark("q")
+                engine.checkpoint()
+            if lo >= total:
+                break
+            hi = min(lo + CHUNK, total)
+            engine.feed("s", columns={"v": values[lo:hi]})
+            engine.run_until_idle()
+        engine.run_until_idle()
+
+    # Reference emissions from an unkilled run.
+    ref_dir = tmp_path / "ref"
+    engine = DataCellEngine(data_dir=str(ref_dir))
+    try:
+        engine.create_stream("s", [("v", "int")])
+        handle = engine.submit(sql, name="q")
+        drive(engine)
+        expected = [batch.rows() for batch in handle.results()]
+    finally:
+        engine.close()
+    assert len(expected) == 7
+
+    fired_points = 0
+    for at in itertools.count():
+        data_dir = tmp_path / f"dd-{at}"
+        engine = DataCellEngine(data_dir=str(data_dir))
+        engine.create_stream("s", [("v", "int")])
+        handle = engine.submit(sql, name="q")
+        crash = CrashPoint(at)
+        engine.install_fault_hook(crash)
+        try:
+            try:
+                drive(engine)
+            except InjectedCrash:
+                engine.abandon()
+                engine = DataCellEngine.restore(str(data_dir))
+                engine.run_until_idle()
+                handle = engine.query("q")
+                drive(engine)
+            got = [batch.rows() for batch in handle.results()]
+        finally:
+            engine.close()
+        _assert_exactly_once(got, expected)
+        if not crash.fired:
+            break
+        fired_points += 1
+    assert fired_points >= 5, fired_points
+
+
+def test_reset_landmark_rejects_landmark_sliding_join(tmp_path):
+    """Regression: reset on a landmark ⋈ sliding join must be refused.
+
+    The reset used to clear *both* sides' partials, silently corrupting
+    the sliding side — windows that had not expired stopped
+    contributing.  The factory now rejects the shape up front, and the
+    refused reset must leave emissions untouched.
+    """
+    sql = (
+        "SELECT count(*) FROM s a [LANDMARK SLIDE 8], s2 b [RANGE 8 SLIDE 8] "
+        "WHERE a.v = b.v"
+    )
+    data_dir = tmp_path / "dd"
+    engine = DataCellEngine(data_dir=str(data_dir))
+    try:
+        engine.create_stream("s", [("v", "int")])
+        engine.create_stream("s2", [("v", "int")])
+        handle = engine.submit(sql, name="q")
+        check = engine.submit(sql, mode="reeval", name="check")
+        rng = np.random.default_rng(7)
+        for stream in ("s", "s2"):
+            engine.feed(
+                stream, columns={"v": rng.integers(0, 6, 16).astype(np.int64)}
+            )
+        engine.run_until_idle()
+        assert handle.results()  # the join actually emitted
+
+        with pytest.raises(ReproError, match="sliding"):
+            engine.reset_landmark("q")
+
+        # The refused reset must not have touched any partials: feeding
+        # more input continues the join from unbroken state, matching
+        # the never-reset reevaluation twin on the same workload.
+        for stream in ("s", "s2"):
+            engine.feed(
+                stream, columns={"v": rng.integers(0, 6, 16).astype(np.int64)}
+            )
+        engine.run_until_idle()
+        assert handle.result_rows() == check.result_rows()
+        engine.abandon()
+
+        # The raised reset must not have written a journal record either:
+        # replay is the same never-reset workload.
+        engine = DataCellEngine.restore(str(data_dir))
+        engine.run_until_idle()
+        assert (
+            engine.query("q").result_rows() == engine.query("check").result_rows()
+        )
+    finally:
+        engine.close()
+
+
 def test_no_leaked_segments_or_temp_files(tmp_path):
     """After checkpoints + GC the data dir holds only live artifacts."""
     query, feed = _workload(0, "sum")
     data_dir = tmp_path / "dd"
-    engine = build_engine(query, data_dir=str(data_dir))
+    engine = build_engine(
+        query, data_dir=str(data_dir), landmark_spill_mb=0.0001
+    )
     try:
         engine.submit(query.sql, name="q")
+        # A landmark query alongside the workload, so the walk below
+        # also covers the spill directory's run/manifest hygiene.
+        stream = next(iter(query.streams))
+        col = next(iter(feed.columns[stream]))
+        engine.submit(
+            f"SELECT {col} FROM {stream} [LANDMARK SLIDE 5]", name="lm"
+        )
         _drive(engine, query, feed)  # takes two checkpoints
         engine.checkpoint()
+        assert engine.landmark_spill_stats()["lm"]["runs"] > 0
     finally:
         engine.close()
     found = sorted(
@@ -292,11 +460,15 @@ def test_no_leaked_segments_or_temp_files(tmp_path):
     assert not [f for f in found if f.endswith(".tmp")], found
     snapshots = [f for f in found if f.startswith("snapshots/")]
     assert len(snapshots) == 1, found  # GC keeps only the live snapshot
+    spill = [f for f in found if f.startswith("spill/")]
+    assert spill, found  # the landmark query actually spilled
     for name in found:
         assert (
             name == "MANIFEST.json"
             or name.startswith("segments/segment-")
             or name.startswith("snapshots/snapshot-")
+            or name.startswith("spill/lm/run-")
+            or name == "spill/lm/SPILL.json"
         ), found
 
 
